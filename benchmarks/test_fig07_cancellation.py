@@ -1,0 +1,43 @@
+"""Fig. 7: the antidote cancels ~32 dB of jamming at the receive antenna.
+
+The paper's methodology: transmit 100 kb of jamming without the antidote,
+then with it, and compare received powers; repeat for many runs and plot
+the CDF.  "The antidote signal reduces the jamming signal by 32 dB on
+average" with small variance, matching the antenna-cancellation numbers
+of Choi et al. without their half-wavelength antenna separation.
+"""
+
+import numpy as np
+
+from repro.experiments.metrics import empirical_cdf, summarize
+from repro.experiments.report import ExperimentReport, ascii_cdf
+from repro.experiments.waveform_lab import cancellation_samples
+
+
+def test_fig07_antenna_cancellation_cdf(benchmark):
+    samples = benchmark.pedantic(
+        lambda: cancellation_samples(n_runs=300, jam_samples=4096),
+        rounds=1,
+        iterations=1,
+    )
+    stats = summarize(samples)
+    values, cdf = empirical_cdf(samples)
+    p10 = float(np.percentile(samples, 10))
+    p90 = float(np.percentile(samples, 90))
+
+    report = ExperimentReport("Fig. 7 -- antidote cancellation at the receive antenna")
+    report.add("mean cancellation", "~32 dB", f"{stats.mean:.1f} dB")
+    report.add("CDF support (10th-90th pct)", "~26-38 dB", f"{p10:.1f}-{p90:.1f} dB")
+    report.add(
+        "antenna separation required",
+        "none (2 cm, next to each other)",
+        "none",
+        "vs 37.5 cm half-wavelength in prior work",
+    )
+    report.print()
+    print()
+    print(ascii_cdf(samples, label="nulling of the jamming signal (dB)"))
+
+    assert 30.0 < stats.mean < 34.0
+    assert p10 > 20.0
+    assert p90 < 45.0

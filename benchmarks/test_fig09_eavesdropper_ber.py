@@ -1,0 +1,43 @@
+"""Fig. 9: eavesdropper BER ~50% at every one of the 18 locations.
+
+"At all locations, the eavesdropper's BER is nearly 50%, which makes its
+decoding task no more successful than random guessing.  The low variance
+in the CDF shows that an eavesdropper's BER is independent of its
+location" -- the operational consequence of eq. 7.
+"""
+
+import numpy as np
+
+from repro.experiments.metrics import summarize
+from repro.experiments.report import ExperimentReport
+from repro.experiments.waveform_lab import PassiveLab
+
+
+def test_fig09_eavesdropper_ber_all_locations(benchmark):
+    def run():
+        lab = PassiveLab(seed=99)
+        return lab.ber_by_location(jam_margin_db=20.0, n_packets=40)
+
+    ber_by_location = benchmark.pedantic(run, rounds=1, iterations=1)
+    values = list(ber_by_location.values())
+    stats = summarize(values)
+
+    report = ExperimentReport("Fig. 9 -- eavesdropper BER across all 18 locations")
+    report.add("mean BER over locations", "~0.50", f"{stats.mean:.3f}")
+    report.add(
+        "per-location spread (min-max)",
+        "nearly 50% everywhere",
+        f"{stats.minimum:.3f}-{stats.maximum:.3f}",
+    )
+    report.add(
+        "closest location (20 cm)",
+        "~0.50",
+        f"{ber_by_location[1]:.3f}",
+        "even the nearest eavesdropper learns nothing",
+    )
+    report.print()
+
+    assert stats.mean > 0.44
+    assert stats.minimum > 0.40
+    # Location independence: spread well under the 0.5 scale.
+    assert stats.maximum - stats.minimum < 0.08

@@ -1,0 +1,46 @@
+"""Fig. 12: unauthorized therapy-modification attack.
+
+Paper rows (probability the therapy changes, locations 1..14):
+  shield absent : 1 1 1 1 0.95 0.84 0.78 0.70 0.02 0.01 0 0 0 0
+  shield present: 0 everywhere
+
+The paper found "no statistical difference in success rate between
+commands that modify the patient's treatment and commands that trigger
+the IMD to transmit" -- this benchmark checks that equivalence too.
+"""
+
+from benchmarks.conftest import trials_per_location
+from repro.experiments.report import ExperimentReport
+from benchmarks.test_fig11_battery_attack import LOCATIONS, _success_curve
+
+PAPER_ABSENT = {
+    1: 1.0, 2: 1.0, 3: 1.0, 4: 1.0, 5: 0.95, 6: 0.84, 7: 0.78, 8: 0.70,
+    9: 0.02, 10: 0.01, 11: 0.0, 12: 0.0, 13: 0.0, 14: 0.0,
+}
+
+
+def test_fig12_therapy_modification_attack(benchmark):
+    n = trials_per_location()
+
+    def run():
+        absent = _success_curve(False, n, "therapy", seed=1200)
+        present = _success_curve(True, n, "therapy", seed=2200)
+        return absent, present
+
+    absent, present = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    report = ExperimentReport(
+        f"Fig. 12 -- P(therapy changed) per location, {n} trials each"
+    )
+    for loc in LOCATIONS:
+        report.add(
+            f"location {loc:2d}",
+            f"absent {PAPER_ABSENT[loc]:.2f} / present 0.00",
+            f"absent {absent[loc]:.2f} / present {present[loc]:.2f}",
+        )
+    report.print()
+
+    assert all(absent[loc] >= 0.9 for loc in range(1, 6))
+    assert absent[8] > 0.2
+    assert all(absent[loc] <= 0.2 for loc in range(9, 15))
+    assert all(present[loc] <= 0.05 for loc in LOCATIONS)

@@ -1,0 +1,93 @@
+"""Active-adversary scenario: unauthorized commands vs. the shield (S7).
+
+Walks the three attacker classes of the paper's evaluation:
+
+1. an FCC-power adversary (commercial programmer grade) sweeping the
+   room -- succeeds against the bare IMD out to ~14 m, never against the
+   shielded one;
+2. a replay attacker that records a real programmer exchange and
+   re-modulates it cleanly (S9's methodology);
+3. a 100x-power adversary with a directional antenna -- the intrinsic
+   limitation: it can still win from a few LOS metres, but the shield
+   raises an alarm every time it could.
+
+Run:  python examples/active_attack.py
+"""
+
+from repro.experiments.testbed import AttackTestbed
+
+
+def sweep(attacker: str, shield: bool, command: str, locations, trials=25):
+    row = []
+    for loc in locations:
+        bed = AttackTestbed(
+            location_index=loc,
+            shield_present=shield,
+            attacker=attacker,
+            seed=400 + loc,
+        )
+        outcomes = bed.run_trials(trials, command=command)
+        if command == "therapy":
+            wins = sum(o.therapy_changed for o in outcomes)
+        else:
+            wins = sum(o.imd_responded for o in outcomes)
+        alarms = sum(o.alarm_raised for o in outcomes)
+        row.append((loc, wins / trials, alarms / trials))
+    return row
+
+
+def main() -> None:
+    locations = (1, 4, 6, 8, 10, 13)
+
+    print("1) FCC-power adversary, battery-depletion command")
+    print("   location   distance    no shield    shield")
+    bed = AttackTestbed(location_index=1, seed=0)
+    for (loc, p_off, _), (_, p_on, _) in zip(
+        sweep("fcc", False, "interrogate", locations),
+        sweep("fcc", True, "interrogate", locations),
+    ):
+        d = bed.budget.geometry.location(loc).distance_m
+        print(f"   {loc:8d}   {d:6.1f} m    {p_off:9.2f}    {p_on:6.2f}")
+
+    print("\n2) replay attack (record -> demodulate -> re-modulate)")
+    from repro.adversary.active import ReplayAttacker
+    from repro.experiments.testbed import Placement
+    from repro.protocol.programmer import Programmer
+    from repro.sim.radio import ProgrammerRadio
+
+    bed = AttackTestbed(location_index=3, shield_present=False, seed=9)
+    programmer = Programmer(target_serial=bed.imd.serial, codec=bed.codec)
+    prog_radio = ProgrammerRadio(bed.simulator, programmer, channel=0)
+    bed.links.place(Placement("programmer", location=bed.budget.geometry.location(2)))
+    bed.air.register(prog_radio)
+    recorder = ReplayAttacker(
+        bed.simulator, channel=0, tx_power_dbm=-16.0, codec=bed.codec, name="recorder"
+    )
+    bed.links.place(Placement("recorder", location=bed.budget.geometry.location(5)))
+    bed.air.register(recorder)
+
+    prog_radio.send_command(programmer.interrogate(), skip_lbt=True)
+    bed.simulator.run(until=0.1)
+    print(f"   recorded {len(recorder.recorded)} programmer command(s) off the air")
+    before = bed.imd.transmissions
+    recorder.replay()
+    bed.simulator.run(until=0.2)
+    print(f"   replay against the bare IMD: "
+          f"elicited a response = {bed.imd.transmissions > before}")
+
+    print("\n3) 100x-power adversary with a directional antenna, therapy command")
+    print("   location   distance    no shield    shield    alarm")
+    for (loc, p_off, _), (_, p_on, alarm) in zip(
+        sweep("highpower", False, "therapy", locations),
+        sweep("highpower", True, "therapy", locations),
+    ):
+        d = bed.budget.geometry.location(loc).distance_m
+        print(
+            f"   {loc:8d}   {d:6.1f} m    {p_off:9.2f}    {p_on:6.2f}    {alarm:5.2f}"
+        )
+    print("\n   -> high power beats jamming only from nearby line-of-sight spots,")
+    print("      and every dangerous transmission sets off the patient alarm.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Passive-eavesdropper scenario: confidentiality by jamming (S6).
+
+Reproduces the paper's passive story at the waveform level: the IMD
+transmits telemetry, the shield jams with a shaped-noise signal +20 dB
+over the received IMD power, and
+
+* an eavesdropper at any location decodes ~coin flips, whichever
+  decoding strategy it tries (treat-as-noise, band-pass filtering,
+  spectral subtraction);
+* the shield itself, cancelling its own jam with the antidote, decodes
+  essentially everything.
+
+Run:  python examples/passive_eavesdropper.py
+"""
+
+from repro.adversary.strategies import (
+    FilterBankStrategy,
+    SpectralSubtractionStrategy,
+    TreatJammingAsNoise,
+)
+from repro.experiments.waveform_lab import PassiveLab
+
+
+def main() -> None:
+    lab = PassiveLab(seed=11)
+
+    print("eavesdropper at 20 cm (location 1), shaped jamming at +20 dB:")
+    for strategy in (
+        TreatJammingAsNoise(),
+        FilterBankStrategy(),
+        SpectralSubtractionStrategy(),
+    ):
+        bers = []
+        losses = 0
+        for _ in range(40):
+            trial = lab.run_trial(20.0, location_index=1, strategy=strategy)
+            bers.append(trial.eavesdropper_ber)
+            losses += trial.shield_packet_lost
+        mean_ber = sum(bers) / len(bers)
+        print(f"  strategy {strategy.name:<28} eavesdropper BER {mean_ber:.3f}")
+    print(f"  shield packet loss over the same runs: {losses}/120")
+
+    print("\neavesdropper BER by location (jamming is location-independent):")
+    by_location = lab.ber_by_location(jam_margin_db=20.0, n_packets=15)
+    for index in (1, 4, 8, 13, 18):
+        loc = lab.budget.geometry.location(index)
+        kind = "LOS " if loc.line_of_sight else "NLOS"
+        print(
+            f"  location {index:2d} ({loc.distance_m:5.1f} m {kind}):"
+            f" BER {by_location[index]:.3f}"
+        )
+
+    print("\nwithout the shield (jamming off):")
+    trial = lab.run_trial(jam_margin_db=-60.0)
+    print(f"  eavesdropper BER {trial.eavesdropper_ber:.3f}  "
+          "<- every bit of patient telemetry readable")
+
+
+if __name__ == "__main__":
+    main()

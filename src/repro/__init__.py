@@ -1,0 +1,51 @@
+"""repro: a full-system reproduction of "They Can Hear Your Heartbeats:
+Non-Invasive Security for Implantable Medical Devices" (SIGCOMM 2011).
+
+The package rebuilds the paper's *shield* -- a wearable full-duplex
+jammer-cum-receiver that protects an unmodified implantable medical
+device -- together with every substrate its evaluation needs: a
+complex-baseband PHY (FSK/GMSK modems, shaped jamming, antidote
+cancellation), an RF channel model of the paper's testbed, the MICS band
+rules, the IMD/programmer air protocol, an authenticated relay channel,
+adversary models, and a discrete-event simulator that ties them together.
+
+Quick start::
+
+    from repro.experiments import AttackTestbed
+
+    bed = AttackTestbed(location_index=1, shield_present=True)
+    outcome = bed.attack_once(bed.interrogate_packet())
+    assert not outcome.imd_responded       # the shield jammed the command
+
+See ``examples/`` for full walkthroughs and ``benchmarks/`` for the
+scripts regenerating every table and figure of the paper's evaluation.
+"""
+
+from repro.core import (
+    ActiveDetector,
+    JammerCumReceiver,
+    ShapedJammer,
+    ShieldConfig,
+    ShieldRadio,
+)
+from repro.channel import LinkBudget, TestbedGeometry, default_testbed
+from repro.protocol import IMDevice, Packet, PacketCodec, Programmer, VIRTUOSO
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActiveDetector",
+    "IMDevice",
+    "JammerCumReceiver",
+    "LinkBudget",
+    "Packet",
+    "PacketCodec",
+    "Programmer",
+    "ShapedJammer",
+    "ShieldConfig",
+    "ShieldRadio",
+    "TestbedGeometry",
+    "VIRTUOSO",
+    "default_testbed",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""Adversary models from the paper's threat model (S3.2).
+
+Passive: an eavesdropper with an optimal noncoherent FSK decoder [38] and
+a choice of decoding strategies -- treat the jamming as noise, band-pass
+filter around the FSK tones (the attack that defeats *unshaped* jamming,
+S6(a)), or attempt interference cancellation.
+
+Active: attackers that send unauthorized commands -- a commercial-
+programmer-grade attacker limited to FCC power, a replay attacker that
+records programmer transmissions and re-modulates them cleanly (S9), and
+a high-powered attacker at 100x the shield's power with a directional
+antenna (S3.2 allows both).
+"""
+
+from repro.adversary.active import CommandInjector, ReplayAttacker
+from repro.adversary.eavesdropper import Eavesdropper, EavesdropResult
+from repro.adversary.highpower import HighPowerAttacker
+from repro.adversary.mimo import MIMOEavesdropper, jakes_correlation
+from repro.adversary.strategies import (
+    DecodingStrategy,
+    FilterBankStrategy,
+    SpectralSubtractionStrategy,
+    TreatJammingAsNoise,
+)
+
+__all__ = [
+    "CommandInjector",
+    "DecodingStrategy",
+    "EavesdropResult",
+    "Eavesdropper",
+    "FilterBankStrategy",
+    "HighPowerAttacker",
+    "MIMOEavesdropper",
+    "ReplayAttacker",
+    "SpectralSubtractionStrategy",
+    "TreatJammingAsNoise",
+    "jakes_correlation",
+]

@@ -1,0 +1,60 @@
+"""Waveform-level passive eavesdropper (S3.2(a), Figs. 8-9).
+
+Receives the linear mix of the IMD's FSK signal and the shield's jamming,
+applies a decoding strategy, and runs the optimal noncoherent FSK
+detector [38].  The headline result it reproduces: with shaped jamming
+20 dB above the IMD's power, its BER is ~50% at *every* location -- the
+one-time-pad regime of S6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.adversary.strategies import DecodingStrategy, TreatJammingAsNoise
+from repro.phy.fsk import FSKConfig, NoncoherentFSKDemodulator
+from repro.phy.signal import Waveform
+
+__all__ = ["EavesdropResult", "Eavesdropper"]
+
+
+@dataclass(frozen=True)
+class EavesdropResult:
+    """What the eavesdropper got out of one packet."""
+
+    bits: np.ndarray
+    bit_error_rate: float
+    strategy: str
+
+
+class Eavesdropper:
+    """Optimal-noncoherent-FSK eavesdropper with pluggable preprocessing."""
+
+    def __init__(
+        self,
+        config: FSKConfig | None = None,
+        strategy: DecodingStrategy | None = None,
+    ):
+        self.config = config or FSKConfig()
+        self.strategy = strategy or TreatJammingAsNoise()
+        self._demodulator = NoncoherentFSKDemodulator(self.config)
+
+    def decode(self, waveform: Waveform, n_bits: int | None = None) -> np.ndarray:
+        """Hard-decision bits after the strategy's preprocessing."""
+        processed = self.strategy.preprocess(waveform, self.config)
+        return self._demodulator.demodulate(processed, n_bits)
+
+    def attack(
+        self, waveform: Waveform, true_bits: np.ndarray
+    ) -> EavesdropResult:
+        """Decode a packet and score it against the ground truth.
+
+        A BER near 0.5 means the eavesdropper learned nothing: its output
+        is statistically indistinguishable from coin flips.
+        """
+        true_bits = np.asarray(true_bits, dtype=np.int64)
+        decoded = self.decode(waveform, n_bits=len(true_bits))
+        ber = float(np.mean(decoded != true_bits))
+        return EavesdropResult(decoded, ber, self.strategy.name)

@@ -1,0 +1,98 @@
+"""Eavesdropper decoding strategies (S3.2, S6(a)).
+
+The paper's passive adversary "may try different decoding strategies":
+treating the jamming as noise, filtering it out, or cancelling it.  Each
+strategy here is a waveform preprocessor in front of the optimal
+noncoherent FSK detector; the Fig. 5 benchmark runs the filter-bank
+attack against both shaped and unshaped jamming to show why shaping
+matters.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.phy.filters import dual_tone_filter
+from repro.phy.fsk import FSKConfig
+from repro.phy.signal import Waveform
+from repro.phy.spectrum import power_spectral_density
+
+__all__ = [
+    "DecodingStrategy",
+    "TreatJammingAsNoise",
+    "FilterBankStrategy",
+    "SpectralSubtractionStrategy",
+]
+
+
+class DecodingStrategy(abc.ABC):
+    """A preprocessing step the eavesdropper applies before demodulating."""
+
+    @abc.abstractmethod
+    def preprocess(self, waveform: Waveform, config: FSKConfig) -> Waveform:
+        """Return the waveform the demodulator should see."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class TreatJammingAsNoise(DecodingStrategy):
+    """Decode as-is: the jamming is just more noise (baseline strategy)."""
+
+    def preprocess(self, waveform: Waveform, config: FSKConfig) -> Waveform:
+        return waveform
+
+
+class FilterBankStrategy(DecodingStrategy):
+    """Two band-pass filters centred on the FSK tones (S6(a)).
+
+    Against a *constant-profile* jammer this removes most of the jamming
+    energy (the energy sits where the FSK receiver never looks).  Against
+    the shield's *shaped* jammer it removes almost nothing, because the
+    jam's power already sits on the tones -- which is exactly why the
+    shield shapes it.
+    """
+
+    def __init__(self, half_width_hz: float | None = None):
+        self.half_width_hz = half_width_hz
+
+    def preprocess(self, waveform: Waveform, config: FSKConfig) -> Waveform:
+        f0, f1 = config.tone_frequencies()
+        # Match the detector's per-bit bandwidth by default.
+        half_width = self.half_width_hz or config.bit_rate / 2.0
+        return dual_tone_filter(waveform, f0, f1, half_width)
+
+
+class SpectralSubtractionStrategy(DecodingStrategy):
+    """Wiener-style attempt at interference cancellation.
+
+    The adversary estimates the average jamming PSD and de-emphasises
+    the corresponding frequencies.  Against random Gaussian jamming whose
+    *realisation* the adversary cannot know, this cannot recover the
+    signal -- multi-user information theory says joint decoding fails
+    when the jam is sent at an excessive rate without structure (S3.2).
+    It is included so that benchmarks can demonstrate the failure rather
+    than assert it.
+    """
+
+    def __init__(self, n_fft: int = 128):
+        self.n_fft = n_fft
+
+    def preprocess(self, waveform: Waveform, config: FSKConfig) -> Waveform:
+        freqs, psd = power_spectral_density(waveform, n_fft=self.n_fft)
+        if np.all(psd <= 0):
+            return waveform
+        # Build a Wiener-like gain assuming everything above the median
+        # PSD is jamming; heavy-handed, like the adversary's situation.
+        noise_floor = np.median(psd)
+        gains = np.sqrt(noise_floor / np.maximum(psd, noise_floor))
+        spectrum = np.fft.fftshift(np.fft.fft(waveform.samples))
+        grid = np.fft.fftshift(
+            np.fft.fftfreq(len(waveform.samples), d=1.0 / waveform.sample_rate)
+        )
+        interp_gain = np.interp(grid, freqs, gains)
+        filtered = np.fft.ifft(np.fft.ifftshift(spectrum * interp_gain))
+        return Waveform(filtered, waveform.sample_rate)

@@ -1,0 +1,43 @@
+"""RF channel substrate: propagation, fading, noise, geometry, link budget.
+
+This package supplies what the paper's bacon-and-beef testbed supplied:
+the gains and losses between every transmitter and receiver.  Pathloss
+follows a dual-slope log-distance model with per-location wall losses for
+non-line-of-sight placements; the signal additionally crosses the body
+phantom (S9: 1 cm bacon + 4 cm ground beef) on any path into or out of
+the IMD.  :mod:`repro.channel.link_budget` evaluates the paper's SINR
+equations (6)-(9); :mod:`repro.channel.medium` mixes waveforms for the
+sample-level experiments.
+"""
+
+from repro.channel.fading import FadingModel, rician_gain, rayleigh_gain
+from repro.channel.geometry import (
+    AdversaryLocation,
+    Position,
+    TestbedGeometry,
+    default_testbed,
+)
+from repro.channel.link_budget import LinkBudget, adversary_sinr_db, shield_sinr_db
+from repro.channel.models import (
+    BodyLoss,
+    DualSlopePathLoss,
+    free_space_path_loss_db,
+)
+from repro.channel.noise import thermal_noise_dbm
+
+__all__ = [
+    "AdversaryLocation",
+    "BodyLoss",
+    "DualSlopePathLoss",
+    "FadingModel",
+    "LinkBudget",
+    "Position",
+    "TestbedGeometry",
+    "adversary_sinr_db",
+    "default_testbed",
+    "free_space_path_loss_db",
+    "rayleigh_gain",
+    "rician_gain",
+    "shield_sinr_db",
+    "thermal_noise_dbm",
+]

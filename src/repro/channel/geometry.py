@@ -1,0 +1,162 @@
+"""The Fig. 6 testbed: IMD, shield, and 18 adversary locations.
+
+The paper's evaluation places the IMD (implanted in a bacon/beef phantom)
+and the shield next to each other, then moves the adversary through 18
+numbered locations spanning 20 cm to 30 m, mixing line-of-sight and
+non-line-of-sight placements, "numbered in descending order of received
+signal strength at the shield".
+
+We reproduce that map with per-location ``(distance, line-of-sight,
+obstruction-loss)`` triples calibrated so that the protocol benchmarks
+land where the paper's measurements do:
+
+* an FCC-compliant adversary reaches the unprotected IMD out to roughly
+  14 m -- location 8 (Fig. 11),
+* a 100x adversary reaches it out to roughly 27 m -- location 13
+  (Fig. 13), and
+* total air loss increases strictly with the location number, preserving
+  the paper's RSSI ordering (checked by a unit test).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.channel.models import DualSlopePathLoss
+
+__all__ = ["Position", "AdversaryLocation", "TestbedGeometry", "default_testbed"]
+
+
+@dataclass(frozen=True)
+class Position:
+    """A point in the 2-D floor plan, in metres."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Position") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+@dataclass(frozen=True)
+class AdversaryLocation:
+    """One numbered adversary placement from the Fig. 6 map."""
+
+    index: int
+    distance_m: float
+    line_of_sight: bool
+    obstruction_loss_db: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.index < 1:
+            raise ValueError("locations are numbered from 1")
+        if self.distance_m <= 0:
+            raise ValueError("distance must be positive")
+        if self.obstruction_loss_db < 0:
+            raise ValueError("obstruction loss cannot be negative")
+        if self.line_of_sight and self.obstruction_loss_db > 0:
+            raise ValueError("line-of-sight locations carry no obstruction loss")
+
+    def air_loss_db(self, pathloss: DualSlopePathLoss) -> float:
+        """Total over-the-air loss from this location to the IMD/shield."""
+        return pathloss.loss_db(self.distance_m, self.obstruction_loss_db)
+
+    def position(self) -> Position:
+        """A representative floor-plan coordinate at this distance.
+
+        Locations are fanned out on a spiral purely for plotting/API
+        realism; all link budgets depend only on distance and class.
+        """
+        angle = 0.5 + 0.35 * self.index
+        return Position(
+            self.distance_m * math.cos(angle), self.distance_m * math.sin(angle)
+        )
+
+
+# Calibrated location table.  Indices 1-8 are line-of-sight at increasing
+# range; 9-18 sit behind one or more obstructions.  Figures 11/12 sweep
+# locations 1-14; Fig. 13 sweeps all 18.
+_DEFAULT_LOCATIONS: tuple[AdversaryLocation, ...] = (
+    AdversaryLocation(1, 0.2, True),
+    AdversaryLocation(2, 0.5, True),
+    AdversaryLocation(3, 1.0, True),
+    AdversaryLocation(4, 1.5, True),
+    AdversaryLocation(5, 3.0, True),
+    AdversaryLocation(6, 4.5, True),
+    AdversaryLocation(7, 11.0, True),
+    AdversaryLocation(8, 14.0, True),
+    AdversaryLocation(9, 9.0, False, 15.0),
+    AdversaryLocation(10, 16.0, False, 8.0),
+    AdversaryLocation(11, 18.0, False, 12.0),
+    AdversaryLocation(12, 22.0, False, 14.0),
+    AdversaryLocation(13, 27.0, False, 23.0),
+    AdversaryLocation(14, 28.0, False, 28.0),
+    AdversaryLocation(15, 24.0, False, 32.0),
+    AdversaryLocation(16, 29.0, False, 30.0),
+    AdversaryLocation(17, 30.0, False, 32.0),
+    AdversaryLocation(18, 30.0, False, 35.0),
+)
+
+
+@dataclass(frozen=True)
+class TestbedGeometry:
+    """IMD + shield placement and the numbered adversary locations.
+
+    The shield is worn as a necklace directly over the implant; its air
+    path to the IMD (default 12 cm) dominates the jamming link budget.
+    The shield's two antennas sit right next to each other
+    (``antenna_separation_m``), which is what lets the whole device stay
+    wearable -- the paper's core full-duplex claim.
+    """
+
+    shield_to_imd_m: float = 0.12
+    antenna_separation_m: float = 0.02
+    pathloss: DualSlopePathLoss = field(default_factory=DualSlopePathLoss)
+    locations: tuple[AdversaryLocation, ...] = _DEFAULT_LOCATIONS
+
+    # Not a pytest class, despite the name.
+    __test__ = False
+
+    def __post_init__(self) -> None:
+        if self.shield_to_imd_m <= 0:
+            raise ValueError("shield-to-IMD distance must be positive")
+        if self.antenna_separation_m <= 0:
+            raise ValueError("antenna separation must be positive")
+        indices = [loc.index for loc in self.locations]
+        if indices != sorted(indices) or len(set(indices)) != len(indices):
+            raise ValueError("locations must carry unique ascending indices")
+
+    def location(self, index: int) -> AdversaryLocation:
+        """Look up a location by its Fig. 6 number (1-based)."""
+        for loc in self.locations:
+            if loc.index == index:
+                return loc
+        raise KeyError(f"no adversary location numbered {index}")
+
+    def air_loss_to_imd_db(self, location: AdversaryLocation) -> float:
+        """Over-the-air loss from an adversary location to the IMD."""
+        return location.air_loss_db(self.pathloss)
+
+    def air_loss_to_shield_db(self, location: AdversaryLocation) -> float:
+        """Over-the-air loss from an adversary location to the shield.
+
+        The shield sits next to the IMD, so the air paths are
+        approximately equal -- the fact eq. (7) relies on
+        (``L_air ~ L_j``).
+        """
+        return location.air_loss_db(self.pathloss)
+
+    def shield_to_imd_loss_db(self) -> float:
+        """Air loss between the shield and the IMD (before body loss)."""
+        return self.pathloss.loss_db(self.shield_to_imd_m)
+
+    def rssi_ordering_is_descending(self) -> bool:
+        """Check the Fig. 6 invariant: location numbers order RSSI."""
+        losses = [self.air_loss_to_shield_db(loc) for loc in self.locations]
+        return all(a < b for a, b in zip(losses, losses[1:]))
+
+
+def default_testbed() -> TestbedGeometry:
+    """The calibrated Fig. 6 testbed used by every protocol benchmark."""
+    return TestbedGeometry()

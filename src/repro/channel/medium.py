@@ -1,0 +1,106 @@
+"""Waveform-level wireless medium: per-link gains plus linear mixing.
+
+The waveform experiments (Figs. 4-10) need an air that does what S6 says
+the air does: "the wireless channel creates linear combinations of
+concurrently transmitted signals".  :class:`WaveformMedium` holds a set of
+named nodes and per-link complex gains; a :class:`Mixdown` collects the
+scaled transmissions and renders the received waveform (plus receiver
+noise) at any node.
+
+Link gains can be set directly (for controlled micro-benchmarks) or
+derived from dB losses.  The medium deliberately knows nothing about time
+or protocols -- that is :mod:`repro.sim`'s job; here every call renders
+one synchronised snapshot, which is exactly what the jamming experiments
+need (the shield jams *while* the IMD transmits).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.phy.signal import Waveform, combine, db_to_linear
+
+__all__ = ["WaveformMedium", "Transmission"]
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """One concurrent transmission: a source node and its waveform."""
+
+    source: str
+    waveform: Waveform
+    delay_samples: int = 0
+
+    def __post_init__(self) -> None:
+        if self.delay_samples < 0:
+            raise ValueError("delay must be non-negative")
+
+
+class WaveformMedium:
+    """Per-link complex gains between named nodes, with AWGN receivers.
+
+    Gains are amplitude (field) gains: a loss of ``L`` dB corresponds to
+    ``|h| = 10**(-L/20)``.  Every link can also carry a random phase,
+    which the antidote's channel estimation has to measure rather than
+    assume.
+    """
+
+    def __init__(self, rng: np.random.Generator | None = None):
+        self._gains: dict[tuple[str, str], complex] = {}
+        self._rng = rng or np.random.default_rng(0)
+
+    def set_gain(self, source: str, destination: str, gain: complex) -> None:
+        """Set the complex amplitude gain of the ``source -> destination`` link."""
+        self._gains[(source, destination)] = complex(gain)
+
+    def set_loss_db(
+        self,
+        source: str,
+        destination: str,
+        loss_db: float,
+        random_phase: bool = True,
+    ) -> None:
+        """Set a link by its power loss in dB, with an optional random phase."""
+        amplitude = math.sqrt(db_to_linear(-loss_db))
+        phase = self._rng.uniform(0.0, 2.0 * math.pi) if random_phase else 0.0
+        self.set_gain(source, destination, amplitude * complex(math.cos(phase), math.sin(phase)))
+
+    def gain(self, source: str, destination: str) -> complex:
+        """The complex gain of a link; raises ``KeyError`` if unset."""
+        try:
+            return self._gains[(source, destination)]
+        except KeyError:
+            raise KeyError(f"no channel from {source!r} to {destination!r}") from None
+
+    def has_link(self, source: str, destination: str) -> bool:
+        return (source, destination) in self._gains
+
+    def receive(
+        self,
+        destination: str,
+        transmissions: list[Transmission],
+        noise_power: float = 0.0,
+    ) -> Waveform:
+        """Render the waveform a node receives from concurrent transmissions.
+
+        Each transmission is scaled by its link gain, delayed, and the
+        results are summed; complex AWGN of ``noise_power`` is added on
+        top.  Transmissions from nodes with no link to ``destination``
+        are an error -- silent drops would mask test mistakes.
+        """
+        if not transmissions:
+            raise ValueError("receive() needs at least one transmission")
+        scaled = []
+        for tx in transmissions:
+            h = self.gain(tx.source, destination)
+            w = tx.waveform.scaled(h)
+            if tx.delay_samples:
+                w = w.delayed(tx.delay_samples)
+            scaled.append(w)
+        mixed = combine(*scaled)
+        if noise_power > 0.0:
+            mixed = mixed.with_noise(noise_power, self._rng)
+        return mixed

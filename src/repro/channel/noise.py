@@ -1,0 +1,49 @@
+"""Thermal noise and receiver noise figures.
+
+Noise floors anchor the absolute side of the link budget: how far an
+adversary can be and still reach the unprotected IMD (Figs. 11-13) is a
+signal-to-noise question.  ``kTB`` over a 300 kHz MICS channel is
+-118.4 dBm; receiver noise figures add on top.  The IMD's receiver is
+power-starved and therefore noisy (default NF 12 dB); the shield and
+adversaries use better front ends (default NF 7 dB).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "thermal_noise_dbm",
+    "BOLTZMANN",
+    "ROOM_TEMPERATURE_K",
+    "MICS_CHANNEL_BANDWIDTH_HZ",
+    "IMD_NOISE_FIGURE_DB",
+    "RECEIVER_NOISE_FIGURE_DB",
+]
+
+BOLTZMANN = 1.380649e-23
+ROOM_TEMPERATURE_K = 290.0
+
+# One MICS channel (S2: "The FCC divides the MICS band into multiple
+# channels of 300 KHz width").
+MICS_CHANNEL_BANDWIDTH_HZ = 300e3
+
+# Default receiver noise figures, in dB.
+IMD_NOISE_FIGURE_DB = 12.0
+RECEIVER_NOISE_FIGURE_DB = 7.0
+
+
+def thermal_noise_dbm(
+    bandwidth_hz: float = MICS_CHANNEL_BANDWIDTH_HZ,
+    noise_figure_db: float = 0.0,
+    temperature_k: float = ROOM_TEMPERATURE_K,
+) -> float:
+    """Noise power ``kTB`` in dBm plus a receiver noise figure."""
+    if bandwidth_hz <= 0:
+        raise ValueError("bandwidth must be positive")
+    if temperature_k <= 0:
+        raise ValueError("temperature must be positive")
+    if noise_figure_db < 0:
+        raise ValueError("noise figure cannot be negative")
+    watts = BOLTZMANN * temperature_k * bandwidth_hz
+    return 10.0 * math.log10(watts) + 30.0 + noise_figure_db

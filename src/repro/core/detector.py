@@ -1,0 +1,99 @@
+"""Active-adversary detection: S_id matching and power classification.
+
+S7's algorithm: decode the medium continuously; when the last ``m``
+decoded bits are within ``b_thresh`` flips of the IMD's identifying
+sequence, jam.  S7(d): if the matched transmission's power exceeds the
+calibrated ``P_thresh``, the jamming may fail at the IMD, so raise an
+alarm.  This module is the pure decision logic; the event-level shield
+wires it to the air.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.phy.preamble import IdentifyingSequence, hamming_distance
+
+__all__ = ["DetectionDecision", "ActiveDetector"]
+
+
+@dataclass(frozen=True)
+class DetectionDecision:
+    """Outcome of examining the first ``m`` bits of a transmission."""
+
+    #: Whether the bits match the protected IMD's identifying sequence.
+    matched: bool
+    #: Hamming distance between the observed prefix and S_id.
+    distance: int
+    #: Received power of the transmission at the shield.
+    rssi_dbm: float
+    #: RSSI above P_thresh: the jam might fail at the IMD (S7(d)).
+    exceeds_p_thresh: bool
+    #: RSSI above what any compliant device could deliver: power anomaly.
+    anomalous_power: bool
+
+    @property
+    def should_jam(self) -> bool:
+        return self.matched
+
+    @property
+    def should_alarm(self) -> bool:
+        """Alarm on matched transmissions that are either strong enough
+        to beat the jamming or anomalously powerful."""
+        return self.matched and (self.exceeds_p_thresh or self.anomalous_power)
+
+
+class ActiveDetector:
+    """Per-IMD detector: one identifying sequence, calibrated thresholds."""
+
+    def __init__(
+        self,
+        sequence: IdentifyingSequence,
+        b_thresh: int,
+        p_thresh_dbm: float,
+        anomaly_rssi_dbm: float,
+    ):
+        if b_thresh < 0:
+            raise ValueError("b_thresh cannot be negative")
+        if b_thresh >= len(sequence) // 4:
+            raise ValueError(
+                "b_thresh this large would match unrelated traffic; "
+                f"got {b_thresh} against a {len(sequence)}-bit sequence"
+            )
+        self.sequence = sequence
+        self.b_thresh = b_thresh
+        self.p_thresh_dbm = p_thresh_dbm
+        self.anomaly_rssi_dbm = anomaly_rssi_dbm
+
+    @property
+    def window_bits(self) -> int:
+        """``m``: how many bits the shield decodes before deciding."""
+        return len(self.sequence)
+
+    def evaluate(
+        self, prefix_bits: np.ndarray, rssi_dbm: float
+    ) -> DetectionDecision:
+        """Decide on a transmission given its decoded prefix and RSSI."""
+        prefix_bits = np.asarray(prefix_bits, dtype=np.int64)
+        m = len(self.sequence)
+        if len(prefix_bits) < m:
+            # Shorter than the window: compare what there is; a burst too
+            # short to carry the header cannot be a command to the IMD.
+            return DetectionDecision(
+                matched=False,
+                distance=m,
+                rssi_dbm=rssi_dbm,
+                exceeds_p_thresh=rssi_dbm > self.p_thresh_dbm,
+                anomalous_power=rssi_dbm > self.anomaly_rssi_dbm,
+            )
+        distance = hamming_distance(prefix_bits[:m], self.sequence.bits)
+        matched = distance <= self.b_thresh
+        return DetectionDecision(
+            matched=matched,
+            distance=distance,
+            rssi_dbm=rssi_dbm,
+            exceeds_p_thresh=rssi_dbm > self.p_thresh_dbm,
+            anomalous_power=rssi_dbm > self.anomaly_rssi_dbm,
+        )

@@ -1,0 +1,113 @@
+"""Shaped jamming-signal generation (S6(a), Fig. 5).
+
+A jammer that spreads constant power across the 300 kHz channel wastes
+most of it: the FSK receiver only listens near the two tones, and an
+adversary can band-pass away everything else.  The shield therefore
+shapes its jam: "taking multiple random white Gaussian noise signals and
+assigning each of them to a particular frequency bin ... sets the
+variance of the white Gaussian noise in each frequency bin to match the
+power profile resulting from the IMD's FSK modulation ... then takes the
+IFFT of all the Gaussian signals to generate the time-domain jamming
+signal."
+
+That is literally what :meth:`ShapedJammer.generate` does.  The jam is
+random (never repeats -- the one-time-pad argument of S6), unmodulated
+and uncoded (so the eavesdropper cannot jointly decode it, S3.2), and its
+per-bin variance follows the target :class:`~repro.phy.spectrum.
+FrequencyProfile`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.spectrum import FrequencyProfile
+from repro.phy.signal import Waveform
+
+__all__ = ["ShapedJammer"]
+
+
+class ShapedJammer:
+    """Generates random jamming waveforms with a target spectral shape."""
+
+    def __init__(
+        self,
+        profile: FrequencyProfile,
+        sample_rate: float,
+        rng: np.random.Generator | None = None,
+    ):
+        if sample_rate <= 0:
+            raise ValueError("sample rate must be positive")
+        self.profile = profile
+        self.sample_rate = sample_rate
+        self.rng = rng or np.random.default_rng(0)
+
+    def generate(self, n_samples: int, power: float = 1.0) -> Waveform:
+        """A fresh random jamming waveform of ``n_samples`` at ``power``.
+
+        Per-bin complex Gaussians with variance proportional to the
+        profile, synthesised by IFFT, then scaled to the power budget
+        ("the shield scales the amplitude of the jamming signal to match
+        its hardware's power budget").
+        """
+        if n_samples < 2:
+            raise ValueError("need at least two samples of jamming")
+        if power <= 0:
+            raise ValueError("jamming power must be positive")
+        variances = self._bin_variances(n_samples)
+        scale = np.sqrt(variances / 2.0)
+        spectrum = scale * (
+            self.rng.standard_normal(n_samples)
+            + 1j * self.rng.standard_normal(n_samples)
+        )
+        samples = np.fft.ifft(spectrum) * np.sqrt(n_samples)
+        return Waveform(samples, self.sample_rate).scaled_to_power(power)
+
+    def _bin_variances(self, n_samples: int) -> np.ndarray:
+        """Interpolate the target profile onto the FFT grid of the jam."""
+        grid = np.fft.fftfreq(n_samples, d=1.0 / self.sample_rate)
+        order = np.argsort(grid)
+        sorted_grid = grid[order]
+        interpolated = np.interp(
+            sorted_grid,
+            self.profile.frequencies_hz,
+            self.profile.relative_power,
+            left=0.0,
+            right=0.0,
+        )
+        variances = np.empty(n_samples)
+        variances[order] = interpolated
+        total = variances.sum()
+        if total <= 0:
+            raise ValueError(
+                "profile has no support inside the jammer's sample rate"
+            )
+        return variances / total
+
+    @classmethod
+    def matched_to_fsk(
+        cls,
+        deviation_hz: float,
+        bit_rate: float,
+        sample_rate: float,
+        n_bins: int = 256,
+        rng: np.random.Generator | None = None,
+    ) -> "ShapedJammer":
+        """Jammer shaped to a two-tone FSK profile (the Fig. 5 'shaped'
+        curve)."""
+        profile = FrequencyProfile.two_tone_fsk(
+            deviation_hz, bit_rate, n_bins, sample_rate
+        )
+        return cls(profile, sample_rate, rng)
+
+    @classmethod
+    def flat(
+        cls,
+        bandwidth_hz: float,
+        sample_rate: float,
+        n_bins: int = 256,
+        rng: np.random.Generator | None = None,
+    ) -> "ShapedJammer":
+        """Oblivious constant-profile jammer (the Fig. 5 baseline)."""
+        profile = FrequencyProfile.flat(n_bins, bandwidth_hz)
+        return cls(profile, sample_rate, rng)

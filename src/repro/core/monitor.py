@@ -1,0 +1,92 @@
+"""Waveform-level wideband monitor: S7(c) end to end in samples.
+
+The event-level shield treats "monitor all ten channels" as an
+abstraction; this module is the DSP that backs it.  One wideband capture
+of the whole 3 MHz MICS band is channelized into ten 300 kHz baseband
+streams, each stream is FSK-demodulated, and a sliding Hamming-distance
+match against the protected IMD's identifying sequence reports, per
+channel, whether (and where) a transmission addressed to the IMD is in
+flight -- including adversaries transmitting on several channels
+simultaneously or hopping between captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.phy.channelizer import WidebandChannelizer
+from repro.phy.fsk import FSKConfig, NoncoherentFSKDemodulator
+from repro.phy.preamble import IdentifyingSequence, sliding_sequence_match
+from repro.phy.signal import Waveform
+
+__all__ = ["ChannelDetection", "WidebandMonitor"]
+
+
+@dataclass(frozen=True)
+class ChannelDetection:
+    """Result of scanning one MICS channel of a wideband capture."""
+
+    channel_index: int
+    matched: bool
+    #: Bit offset of the identifying-sequence match in the decoded
+    #: stream, or None.
+    match_offset_bits: int | None
+    #: Received power in this channel (linear, same units as the capture).
+    channel_power: float
+
+
+class WidebandMonitor:
+    """Scan a whole-band capture for packets addressed to one IMD."""
+
+    def __init__(
+        self,
+        sequence: IdentifyingSequence,
+        b_thresh: int = 4,
+        channelizer: WidebandChannelizer | None = None,
+        fsk: FSKConfig | None = None,
+        power_floor: float = 1e-12,
+    ):
+        if b_thresh < 0:
+            raise ValueError("b_thresh cannot be negative")
+        self.sequence = sequence
+        self.b_thresh = b_thresh
+        self.channelizer = channelizer or WidebandChannelizer()
+        self.fsk = fsk or FSKConfig()
+        if self.fsk.sample_rate != self.channelizer.channel_rate:
+            raise ValueError(
+                "FSK config sample rate must match the channelizer output rate"
+            )
+        self.power_floor = power_floor
+        self._demodulator = NoncoherentFSKDemodulator(self.fsk)
+
+    def scan(self, wideband: Waveform) -> list[ChannelDetection]:
+        """Examine every channel of one capture.
+
+        Channels whose power sits at the noise floor are reported
+        unmatched without demodulation (the real shield's per-channel
+        squelch); occupied channels are decoded and matched.
+        """
+        detections = []
+        for index, narrow in self.channelizer.extract_all(wideband).items():
+            power = narrow.power()
+            if power < self.power_floor:
+                detections.append(
+                    ChannelDetection(index, False, None, power)
+                )
+                continue
+            n_bits = len(narrow) // self.fsk.samples_per_bit
+            if n_bits < len(self.sequence):
+                detections.append(
+                    ChannelDetection(index, False, None, power)
+                )
+                continue
+            bits = self._demodulator.demodulate(narrow, n_bits=n_bits)
+            offset = sliding_sequence_match(bits, self.sequence, self.b_thresh)
+            detections.append(
+                ChannelDetection(index, offset is not None, offset, power)
+            )
+        return detections
+
+    def matched_channels(self, wideband: Waveform) -> list[int]:
+        """Indices of channels carrying IMD-addressed transmissions."""
+        return [d.channel_index for d in self.scan(wideband) if d.matched]

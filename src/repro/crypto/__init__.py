@@ -1,0 +1,33 @@
+"""Authenticated encryption for the shield <-> programmer channel.
+
+S4 of the paper assumes "the existence of an authenticated, encrypted
+channel between the shield and the programmer", established in-band [19]
+or out-of-band [28], and treats it as a black box.  We implement a
+concrete one so the relay path is executable end to end: HKDF key
+derivation, a SHA-256-based CTR stream cipher, encrypt-then-MAC AEAD with
+HMAC-SHA-256, nonce management with replay protection, and an
+out-of-band pairing model.
+
+Scope note: this is *semantics-faithful simulation crypto* built on
+hashlib/hmac (the environment provides no cryptography library).  The
+construction (CTR + encrypt-then-MAC, unique nonces, constant-time tag
+compare) follows standard practice, but nobody should lift it into a
+production system when vetted AEAD primitives are available.
+"""
+
+from repro.crypto.aead import AEAD, AuthenticationError
+from repro.crypto.kdf import hkdf_sha256
+from repro.crypto.pairing import OutOfBandPairing
+from repro.crypto.secure_channel import ReplayError, SecureChannel
+from repro.crypto.stream import keystream, xor_stream
+
+__all__ = [
+    "AEAD",
+    "AuthenticationError",
+    "OutOfBandPairing",
+    "ReplayError",
+    "SecureChannel",
+    "hkdf_sha256",
+    "keystream",
+    "xor_stream",
+]

@@ -1,0 +1,60 @@
+"""Encrypt-then-MAC authenticated encryption.
+
+Ciphertext is the CTR stream XOR; the tag is HMAC-SHA-256 over
+``nonce || associated_data || ciphertext`` with an independent key.  Tag
+comparison is constant-time.  The relay uses the associated data to bind
+each message to its direction and sequence number.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.crypto.stream import xor_stream
+
+__all__ = ["AEAD", "AuthenticationError", "TAG_LENGTH"]
+
+TAG_LENGTH = 16
+
+
+class AuthenticationError(Exception):
+    """A ciphertext failed tag verification (tampering or wrong key)."""
+
+
+@dataclass(frozen=True)
+class AEAD:
+    """Authenticated encryption with associated data over two keys."""
+
+    encryption_key: bytes
+    authentication_key: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.encryption_key) < 16 or len(self.authentication_key) < 16:
+            raise ValueError("keys must be at least 128 bits")
+        if self.encryption_key == self.authentication_key:
+            raise ValueError("encryption and authentication keys must differ")
+
+    def seal(self, nonce: bytes, plaintext: bytes, associated_data: bytes = b"") -> bytes:
+        """Encrypt and authenticate; returns ``ciphertext || tag``."""
+        ciphertext = xor_stream(plaintext, self.encryption_key, nonce)
+        tag = self._tag(nonce, associated_data, ciphertext)
+        return ciphertext + tag
+
+    def open(self, nonce: bytes, sealed: bytes, associated_data: bytes = b"") -> bytes:
+        """Verify and decrypt; raises :class:`AuthenticationError` on tamper."""
+        if len(sealed) < TAG_LENGTH:
+            raise AuthenticationError("message shorter than the tag")
+        ciphertext, tag = sealed[:-TAG_LENGTH], sealed[-TAG_LENGTH:]
+        expected = self._tag(nonce, associated_data, ciphertext)
+        if not hmac.compare_digest(tag, expected):
+            raise AuthenticationError("tag mismatch")
+        return xor_stream(ciphertext, self.encryption_key, nonce)
+
+    def _tag(self, nonce: bytes, associated_data: bytes, ciphertext: bytes) -> bytes:
+        mac = hmac.new(self.authentication_key, digestmod=hashlib.sha256)
+        mac.update(len(nonce).to_bytes(2, "big") + nonce)
+        mac.update(len(associated_data).to_bytes(4, "big") + associated_data)
+        mac.update(ciphertext)
+        return mac.digest()[:TAG_LENGTH]

@@ -1,0 +1,38 @@
+"""HKDF-SHA256 key derivation (RFC 5869)."""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+__all__ = ["hkdf_sha256"]
+
+_HASH_LEN = 32
+
+
+def hkdf_sha256(
+    input_key: bytes,
+    length: int,
+    salt: bytes = b"",
+    info: bytes = b"",
+) -> bytes:
+    """Extract-and-expand KDF over SHA-256.
+
+    Used to turn the pairing secret into independent encryption and
+    authentication keys for each direction of the secure channel.
+    """
+    if length < 1 or length > 255 * _HASH_LEN:
+        raise ValueError(f"requested length {length} outside HKDF's range")
+    if not salt:
+        salt = bytes(_HASH_LEN)
+    pseudo_random_key = hmac.new(salt, input_key, hashlib.sha256).digest()
+    blocks = []
+    previous = b""
+    counter = 1
+    while sum(len(b) for b in blocks) < length:
+        previous = hmac.new(
+            pseudo_random_key, previous + info + bytes([counter]), hashlib.sha256
+        ).digest()
+        blocks.append(previous)
+        counter += 1
+    return b"".join(blocks)[:length]

@@ -1,0 +1,187 @@
+"""Ablations of the shield's design choices.
+
+Each function isolates one knob the design fixes and measures what
+happens as it moves, answering the "why is it built this way" questions:
+
+* :func:`b_thresh_sweep` -- the S_id matching tolerance: too small and
+  noisy-but-real attack headers slip through unjammed (false negatives);
+  too large and foreign traffic gets jammed (false positives, breaking
+  the Table 2 coexistence guarantee).
+* :func:`digital_cancellation_sweep` -- the residual-cancellation stage:
+  without it the ~32 dB antenna cancellation leaves the shield's own
+  decode marginal at the +20 dB jamming operating point.
+* :func:`detection_window_sweep` -- the m-bit decision window: shorter
+  windows jam more of each packet (earlier decision) but false-match
+  more background traffic.
+* :func:`antenna_ratio_sweep` -- |H_jam->rec / H_self|: cancellation is
+  insensitive to the antennas being close together, which is the whole
+  wearability claim of S5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import ShieldConfig
+from repro.core.full_duplex import JammerCumReceiver
+from repro.core.jamming import ShapedJammer
+from repro.experiments.waveform_lab import PassiveLab
+from repro.phy.ber import flip_bits, noncoherent_fsk_ber
+from repro.phy.preamble import IdentifyingSequence, hamming_distance
+from repro.protocol.packets import PacketCodec
+
+__all__ = [
+    "BThreshPoint",
+    "b_thresh_sweep",
+    "digital_cancellation_sweep",
+    "detection_window_sweep",
+    "antenna_ratio_sweep",
+]
+
+
+@dataclass(frozen=True)
+class BThreshPoint:
+    """Detector error rates at one b_thresh setting."""
+
+    b_thresh: int
+    false_negative_rate: float  # real attack headers not matched
+    false_positive_rate: float  # foreign traffic matched
+
+
+def b_thresh_sweep(
+    thresholds: tuple[int, ...] = tuple(range(0, 13, 2)),
+    header_snr_db: float = 7.0,
+    n_trials: int = 400,
+    seed: int = 0,
+) -> list[BThreshPoint]:
+    """Measure both detector error rates across b_thresh settings.
+
+    Attack headers are decoded at ``header_snr_db`` (a *weak* adversary;
+    strong ones decode cleanly and always match); foreign traffic is
+    random bits.
+    """
+    rng = np.random.default_rng(seed)
+    codec = PacketCodec()
+    serial = bytes(range(10))
+    sid = codec.identifying_sequence(serial)
+    ber = noncoherent_fsk_ber(header_snr_db)
+    points = []
+    for b in thresholds:
+        misses = 0
+        false_hits = 0
+        for _ in range(n_trials):
+            noisy_header = flip_bits(sid.bits, ber, rng)
+            if hamming_distance(noisy_header, sid.bits) > b:
+                misses += 1
+            foreign = rng.integers(0, 2, size=len(sid))
+            if hamming_distance(foreign, sid.bits) <= b:
+                false_hits += 1
+        points.append(
+            BThreshPoint(
+                b_thresh=b,
+                false_negative_rate=misses / n_trials,
+                false_positive_rate=false_hits / n_trials,
+            )
+        )
+    return points
+
+
+def digital_cancellation_sweep(
+    gains_db: tuple[float, ...] = (0.0, 4.0, 8.0),
+    n_packets: int = 150,
+    jam_margin_db: float = 20.0,
+    seed: int = 1,
+) -> dict[float, float]:
+    """Shield packet loss at the operating point vs. the digital stage.
+
+    Returns ``{digital_gain_db: packet_loss_rate}``.  The 0 dB column is
+    the antenna-only design; the default 8 dB column is the shipped
+    configuration that reaches the paper's ~0.2% loss regime.
+    """
+    out = {}
+    for gain in gains_db:
+        lab = PassiveLab(
+            shield_config=ShieldConfig(digital_cancellation_db=gain), seed=seed
+        )
+        losses = sum(
+            lab.run_trial(jam_margin_db, use_digital=gain > 0).shield_packet_lost
+            for _ in range(n_packets)
+        )
+        out[gain] = losses / n_packets
+    return out
+
+
+@dataclass(frozen=True)
+class WindowPoint:
+    """Consequences of one detection-window size."""
+
+    window_bits: int
+    jammed_fraction_of_packet: float
+    false_match_rate: float
+
+
+def detection_window_sweep(
+    window_sizes: tuple[int, ...] = (24, 48, 72, 104),
+    packet_bits: int = 176,
+    bit_rate: float = 100e3,
+    turnaround_s: float = 270e-6,
+    b_thresh: int = 4,
+    n_trials: int = 2000,
+    seed: int = 2,
+) -> list[WindowPoint]:
+    """Trade off jam coverage against false matches as m shrinks.
+
+    The jam covers the packet from ``m/bit_rate + turnaround`` onward; a
+    shorter window therefore corrupts more of each attack packet, but
+    matching fewer bits makes random traffic collide more often.
+    """
+    rng = np.random.default_rng(seed)
+    codec = PacketCodec()
+    serial = bytes(range(10))
+    full_sid = codec.identifying_sequence(serial)
+    points = []
+    for m in window_sizes:
+        prefix = IdentifyingSequence(full_sid.bits[:m])
+        jam_start_bits = m + turnaround_s * bit_rate
+        covered = max(0.0, (packet_bits - jam_start_bits) / packet_bits)
+        hits = 0
+        for _ in range(n_trials):
+            foreign = rng.integers(0, 2, size=m)
+            if hamming_distance(foreign, prefix.bits) <= b_thresh:
+                hits += 1
+        points.append(
+            WindowPoint(
+                window_bits=m,
+                jammed_fraction_of_packet=covered,
+                false_match_rate=hits / n_trials,
+            )
+        )
+    return points
+
+
+def antenna_ratio_sweep(
+    ratios_db: tuple[float, ...] = (-40.0, -27.0, -15.0, -5.0),
+    n_runs: int = 80,
+    seed: int = 3,
+) -> dict[float, float]:
+    """Mean cancellation vs. the jam-to-self channel ratio.
+
+    The ratio is what antenna placement controls; the sweep shows the
+    cancellation barely moves across a 35 dB placement range -- the
+    antidote works with the antennas side by side, which is why the
+    shield needs no half-wavelength separation (S5).
+    """
+    out = {}
+    for ratio in ratios_db:
+        rng = np.random.default_rng(seed)
+        config = ShieldConfig(jam_to_self_ratio_db=ratio)
+        jammer = ShapedJammer.matched_to_fsk(50e3, 100e3, 600e3, rng=rng)
+        values = []
+        for _ in range(n_runs):
+            front_end = JammerCumReceiver(config, rng=rng)
+            front_end.set_estimation_error()
+            values.append(front_end.cancellation_db(jammer.generate(1024)))
+        out[ratio] = float(np.mean(values))
+    return out

@@ -1,0 +1,77 @@
+"""Statistics helpers shared by experiments and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["empirical_cdf", "summarize", "success_probability", "SummaryStats"]
+
+
+def empirical_cdf(values: list[float] | np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted values and their empirical CDF (the paper's CDF plots)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot build a CDF from no samples")
+    ordered = np.sort(values)
+    cdf = np.arange(1, len(ordered) + 1) / len(ordered)
+    return ordered, cdf
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Mean / std / min / max of a sample, as the paper's tables report."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    def __str__(self) -> str:
+        return (
+            f"mean={self.mean:.3f} std={self.std:.3f} "
+            f"min={self.minimum:.3f} max={self.maximum:.3f} (n={self.count})"
+        )
+
+
+def summarize(values: list[float] | np.ndarray) -> SummaryStats:
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot summarise no samples")
+    return SummaryStats(
+        mean=float(values.mean()),
+        std=float(values.std(ddof=1)) if values.size > 1 else 0.0,
+        minimum=float(values.min()),
+        maximum=float(values.max()),
+        count=int(values.size),
+    )
+
+
+def success_probability(
+    successes: int, trials: int, confidence: float = 0.95
+) -> tuple[float, float, float]:
+    """Estimate plus a Wilson confidence interval: (p, low, high).
+
+    The attack benchmarks report probabilities from 100 trials per
+    location, as the paper does; the interval shows what "0" or "1"
+    actually means at that sample size.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must lie in [0, trials]")
+    z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}.get(confidence)
+    if z is None:
+        raise ValueError("supported confidence levels: 0.90, 0.95, 0.99")
+    p = successes / trials
+    denom = 1 + z**2 / trials
+    centre = (p + z**2 / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p * (1 - p) / trials + z**2 / (4 * trials**2))
+        / denom
+    )
+    return p, max(0.0, centre - half), min(1.0, centre + half)

@@ -1,0 +1,81 @@
+"""Paper-versus-measured reporting.
+
+Each benchmark builds an :class:`ExperimentReport` with one row per
+quantity the paper reports, so the output reads like the original table
+or figure caption with our measured column next to it.
+:func:`ascii_cdf` renders the paper's CDF figures as terminal plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ExperimentReport", "ascii_cdf"]
+
+
+def ascii_cdf(
+    values, width: int = 50, height: int = 10, label: str = ""
+) -> str:
+    """Render an empirical CDF as an ASCII plot (the Fig. 7/9/10 style).
+
+    Each row is a CDF level from 1.0 down to 0.1; the bar extends to the
+    quantile at that level, scaled across [min, max] of the sample.
+    """
+    values = np.sort(np.asarray(values, dtype=np.float64))
+    if values.size == 0:
+        raise ValueError("cannot plot an empty sample")
+    lo, hi = float(values[0]), float(values[-1])
+    span = hi - lo if hi > lo else 1.0
+    lines = [f"CDF {label}".rstrip()]
+    for level in np.linspace(1.0, 0.1, height):
+        quantile = float(np.quantile(values, level))
+        filled = int(round((quantile - lo) / span * width))
+        lines.append(f"{level:4.1f} |{'#' * filled}")
+    lines.append(f"     +{'-' * width}")
+    lines.append(f"      {lo:<12.4g}{'':^{max(0, width - 24)}}{hi:>12.4g}")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class _Row:
+    label: str
+    paper: str
+    measured: str
+    note: str
+
+
+@dataclass
+class ExperimentReport:
+    """A titled table of paper-vs-measured rows."""
+
+    title: str
+    rows: list[_Row] = field(default_factory=list)
+
+    def add(self, label: str, paper: str, measured: str, note: str = "") -> None:
+        self.rows.append(_Row(label, paper, measured, note))
+
+    def render(self) -> str:
+        if not self.rows:
+            return f"== {self.title} ==\n(no rows)"
+        label_w = max(len(r.label) for r in self.rows + [_Row("quantity", "", "", "")])
+        paper_w = max(len(r.paper) for r in self.rows + [_Row("", "paper", "", "")])
+        meas_w = max(len(r.measured) for r in self.rows + [_Row("", "", "measured", "")])
+        lines = [f"== {self.title} =="]
+        header = (
+            f"{'quantity':<{label_w}}  {'paper':<{paper_w}}  "
+            f"{'measured':<{meas_w}}  note"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for r in self.rows:
+            lines.append(
+                f"{r.label:<{label_w}}  {r.paper:<{paper_w}}  "
+                f"{r.measured:<{meas_w}}  {r.note}"
+            )
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print()
+        print(self.render())

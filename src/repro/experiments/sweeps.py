@@ -1,0 +1,92 @@
+"""Location sweeps: the Fig. 11/12/13 experiment loops as a public API.
+
+The paper's attack evaluations share one procedure: fix the adversary's
+hardware class and command, walk it through the numbered Fig. 6
+locations, run N trials at each, and record success (and alarm)
+probabilities with and without the shield.  These helpers are what the
+benchmarks and examples iterate; downstream users get the same loops for
+their own parameter studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.metrics import success_probability
+from repro.experiments.testbed import AttackTestbed
+
+__all__ = ["LocationResult", "attack_success_sweep", "highpower_sweep"]
+
+
+@dataclass(frozen=True)
+class LocationResult:
+    """Attack statistics at one Fig. 6 location."""
+
+    location_index: int
+    success_probability: float
+    alarm_probability: float
+    n_trials: int
+
+    def wilson_interval(self, confidence: float = 0.95) -> tuple[float, float]:
+        """Confidence interval on the success probability."""
+        successes = round(self.success_probability * self.n_trials)
+        _, low, high = success_probability(successes, self.n_trials, confidence)
+        return low, high
+
+
+def attack_success_sweep(
+    shield_present: bool,
+    n_trials: int,
+    command: str = "interrogate",
+    attacker: str = "fcc",
+    location_indices: tuple[int, ...] = tuple(range(1, 15)),
+    seed: int = 0,
+    antenna_gain_dbi: float | None = None,
+) -> dict[int, LocationResult]:
+    """Run one Fig. 11/12-style sweep.
+
+    ``command`` selects the attack goal: ``"interrogate"`` counts IMD
+    replies (battery depletion), ``"therapy"`` counts applied therapy
+    changes.  Returns results keyed by location index.
+    """
+    results: dict[int, LocationResult] = {}
+    for location in location_indices:
+        bed = AttackTestbed(
+            location_index=location,
+            shield_present=shield_present,
+            attacker=attacker,
+            seed=seed + location,
+            antenna_gain_dbi=antenna_gain_dbi,
+        )
+        outcomes = bed.run_trials(n_trials, command=command)
+        if command == "therapy":
+            wins = sum(o.therapy_changed for o in outcomes)
+        else:
+            wins = sum(o.imd_responded for o in outcomes)
+        alarms = sum(o.alarm_raised for o in outcomes)
+        results[location] = LocationResult(
+            location_index=location,
+            success_probability=wins / n_trials,
+            alarm_probability=alarms / n_trials,
+            n_trials=n_trials,
+        )
+    return results
+
+
+def highpower_sweep(
+    shield_present: bool,
+    n_trials: int,
+    location_indices: tuple[int, ...] = tuple(range(1, 19)),
+    seed: int = 0,
+    antenna_gain_dbi: float | None = None,
+) -> dict[int, LocationResult]:
+    """The Fig. 13 sweep: the 100x-power adversary across all locations."""
+    return attack_success_sweep(
+        shield_present=shield_present,
+        n_trials=n_trials,
+        command="therapy",
+        attacker="highpower",
+        location_indices=location_indices,
+        seed=seed,
+        antenna_gain_dbi=antenna_gain_dbi,
+    )

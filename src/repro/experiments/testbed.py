@@ -1,0 +1,354 @@
+"""The Fig. 6 testbed wired onto the event simulator.
+
+:class:`ExperimentLinkModel` translates device placements into the
+per-link received powers and noise floors the air needs:
+
+* the IMD and the observer USRP sit together inside the body phantom
+  (S10.3: "we sandwiched a USRP observer along with the IMD between the
+  two slabs of meat");
+* the shield is worn 12 cm over the implant;
+* adversaries/programmers stand at numbered Fig. 6 locations;
+* any path into or out of the phantom pays the body loss.
+
+:class:`AttackTestbed` assembles a complete attack experiment -- IMD,
+observer, optional shield, one attacker -- and runs trials, which is what
+the Fig. 11/12/13 and Table 1/2 benchmarks iterate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.adversary.active import CommandInjector
+from repro.adversary.highpower import HighPowerAttacker
+from repro.channel.fading import FadingModel
+from repro.channel.geometry import AdversaryLocation, TestbedGeometry
+from repro.channel.link_budget import FCC_MICS_EIRP_DBM, LinkBudget
+from repro.channel.models import BodyLoss
+from repro.core.config import ShieldConfig
+from repro.core.detector import ActiveDetector
+from repro.core.shield import ShieldRadio
+from repro.protocol.commands import TherapySettings, encode_therapy_payload
+from repro.protocol.imd import IMDevice, IMDParameters, VIRTUOSO
+from repro.protocol.packets import Packet, PacketCodec
+from repro.protocol.commands import CommandType
+from repro.sim.air import Air, LinkModel
+from repro.sim.engine import Simulator
+from repro.sim.radio import IMDRadio, ObserverRadio
+from repro.sim.trace import TimelineTrace
+
+__all__ = ["Placement", "ExperimentLinkModel", "AttackTestbed", "AttackOutcome"]
+
+# Link loss between two devices sharing the phantom (IMD <-> observer).
+_IN_PHANTOM_LOSS_DB = 10.0
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where one device sits and whether it is inside the phantom."""
+
+    name: str
+    in_phantom: bool = False
+    on_body: bool = False
+    location: AdversaryLocation | None = None
+
+    def __post_init__(self) -> None:
+        roles = sum([self.in_phantom, self.on_body, self.location is not None])
+        if roles != 1:
+            raise ValueError(
+                f"device {self.name!r} needs exactly one placement kind"
+            )
+
+
+class ExperimentLinkModel(LinkModel):
+    """Link budget + fading for an arbitrary set of placed devices."""
+
+    def __init__(
+        self,
+        budget: LinkBudget,
+        room_fading: FadingModel | None = None,
+        body_fading: FadingModel | None = None,
+    ):
+        self.budget = budget
+        self.geometry: TestbedGeometry = budget.geometry
+        self.body: BodyLoss = budget.body
+        # Per-packet variation across the room (cart position, people).
+        self.room_fading = room_fading or FadingModel(
+            los_k_factor_db=10.0, shadowing_sigma_db=3.0
+        )
+        # The worn shield and the implant move together: tight channel.
+        self.body_fading = body_fading or FadingModel(
+            los_k_factor_db=14.0, shadowing_sigma_db=1.0
+        )
+        self._placements: dict[str, Placement] = {}
+
+    def place(self, placement: Placement) -> None:
+        self._placements[placement.name] = placement
+
+    def placement(self, name: str) -> Placement:
+        try:
+            return self._placements[name]
+        except KeyError:
+            raise KeyError(f"device {name!r} has no placement") from None
+
+    # -- LinkModel interface -------------------------------------------
+
+    def mean_rx_power_dbm(
+        self, source: str, destination: str, tx_power_dbm: float
+    ) -> float:
+        return tx_power_dbm - self.link_loss_db(source, destination)
+
+    def fading_db(
+        self, source: str, destination: str, rng: np.random.Generator
+    ) -> float:
+        src = self.placement(source)
+        dst = self.placement(destination)
+        if (src.in_phantom or src.on_body) and (dst.in_phantom or dst.on_body):
+            return self.body_fading.gain_db(line_of_sight=True, rng=rng)
+        located = src if src.location is not None else dst
+        los = located.location.line_of_sight if located.location else True
+        return self.room_fading.gain_db(line_of_sight=los, rng=rng)
+
+    def noise_power_dbm(self, destination: str) -> float:
+        if self.placement(destination).in_phantom:
+            return self.budget.imd_noise_dbm
+        return self.budget.receiver_noise_dbm
+
+    # -- loss bookkeeping ----------------------------------------------
+
+    def link_loss_db(self, source: str, destination: str) -> float:
+        """Mean total loss: air path plus any phantom crossings."""
+        src = self.placement(source)
+        dst = self.placement(destination)
+        if src.in_phantom and dst.in_phantom:
+            return _IN_PHANTOM_LOSS_DB
+        loss = self._air_loss_db(src, dst)
+        if src.in_phantom:
+            loss += self.body.loss_db
+        if dst.in_phantom:
+            loss += self.body.loss_db
+        return loss
+
+    def _air_loss_db(self, src: Placement, dst: Placement) -> float:
+        pathloss = self.geometry.pathloss
+        if src.location is not None and dst.location is not None:
+            # Two devices out in the room (e.g. replay attacker hearing a
+            # programmer): distance between their floor-plan positions,
+            # obstructed by the worse of the two placements.
+            d = max(
+                src.location.position().distance_to(dst.location.position()),
+                pathloss.reference_m,
+            )
+            extra = max(
+                src.location.obstruction_loss_db, dst.location.obstruction_loss_db
+            )
+            return pathloss.loss_db(d, extra)
+        located = src if src.location is not None else dst
+        if located.location is not None:
+            return located.location.air_loss_db(pathloss)
+        # Phantom cluster <-> worn shield: the 12 cm necklace hop.
+        return self.geometry.shield_to_imd_loss_db()
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """What one unauthorized command achieved."""
+
+    imd_accepted: bool
+    imd_responded: bool
+    therapy_changed: bool
+    alarm_raised: bool
+    shield_jammed: bool
+
+
+class AttackTestbed:
+    """A ready-to-run attack experiment at one Fig. 6 location.
+
+    Parameters mirror the paper's experimental axes: the adversary's
+    location and hardware class, and whether the shield is present.
+    ``jam_imd_replies`` defaults to False because the paper's observer
+    methodology needs the IMD's replies observable (S10.3); the passive-
+    protection experiments (Figs. 8-10) run at the waveform level
+    instead.
+    """
+
+    #: Gap between repeated attack trials; long enough for every jam
+    #: window of the previous trial to expire.
+    TRIAL_SPACING_S = 0.08
+
+    def __init__(
+        self,
+        location_index: int,
+        shield_present: bool = True,
+        attacker: str = "fcc",
+        jam_imd_replies: bool = False,
+        shield_jamming_enabled: bool = True,
+        imd_parameters: IMDParameters | None = None,
+        geometry: TestbedGeometry | None = None,
+        seed: int = 0,
+        antenna_gain_dbi: float | None = None,
+    ):
+        geometry = geometry or TestbedGeometry()
+        self.location = geometry.location(location_index)
+        self.budget = LinkBudget(geometry=geometry)
+        self.rng = np.random.default_rng(seed)
+        self.simulator = Simulator()
+        self.trace = TimelineTrace()
+        self.codec = PacketCodec()
+
+        self.links = ExperimentLinkModel(self.budget)
+        self.air = Air(self.simulator, self.links, rng=self.rng)
+
+        serial = bytes(range(10))
+        self.imd = IMDevice(
+            serial,
+            parameters=imd_parameters or VIRTUOSO,
+            codec=self.codec,
+            rng=np.random.default_rng(seed + 1),
+        )
+        self.imd_radio = IMDRadio(
+            self.simulator, self.imd, channel=0, trace=self.trace
+        )
+        self.links.place(Placement("imd", in_phantom=True))
+        self.air.register(self.imd_radio)
+
+        self.observer = ObserverRadio(self.simulator, channels={0}, codec=self.codec)
+        self.links.place(Placement("observer", in_phantom=True))
+        self.air.register(self.observer)
+
+        self.shield: ShieldRadio | None = None
+        if shield_present:
+            config = ShieldConfig(
+                passive_jam_tx_dbm=self.budget.passive_jam_tx_dbm(),
+                detection_window_bits=self.codec.header_bit_count(),
+            )
+            detector = ActiveDetector(
+                self.codec.identifying_sequence(serial),
+                b_thresh=config.b_thresh,
+                p_thresh_dbm=config.p_thresh_dbm,
+                anomaly_rssi_dbm=config.anomaly_rssi_dbm,
+            )
+            self.shield = ShieldRadio(
+                self.simulator,
+                config,
+                detector,
+                session_channel=0,
+                codec=self.codec,
+                trace=self.trace,
+                rng=np.random.default_rng(seed + 2),
+                jam_imd_replies=jam_imd_replies,
+                jamming_enabled=shield_jamming_enabled,
+            )
+            self.links.place(Placement("shield", on_body=True))
+            self.air.register(self.shield)
+
+        if attacker == "fcc":
+            self.attacker = CommandInjector(
+                self.simulator,
+                channel=0,
+                tx_power_dbm=FCC_MICS_EIRP_DBM,
+                codec=self.codec,
+            )
+        elif attacker == "highpower":
+            kwargs = {}
+            if antenna_gain_dbi is not None:
+                kwargs["antenna_gain_dbi"] = antenna_gain_dbi
+            self.attacker = HighPowerAttacker(
+                self.simulator,
+                channel=0,
+                shield_tx_power_dbm=FCC_MICS_EIRP_DBM,
+                codec=self.codec,
+                **kwargs,
+            )
+        else:
+            raise ValueError(f"unknown attacker kind {attacker!r}")
+        self.links.place(Placement("adversary", location=self.location))
+        self.air.register(self.attacker)
+
+        self._sequence = 0
+
+    # ------------------------------------------------------------------
+    # Attack packets
+    # ------------------------------------------------------------------
+
+    def interrogate_packet(self) -> Packet:
+        """The battery-depletion command (Fig. 11): trigger telemetry.
+
+        Carries a 4-byte record selector, as real interrogation commands
+        address a stored-data region.
+        """
+        self._sequence = (self._sequence + 1) % 256
+        return Packet(
+            self.imd.serial,
+            CommandType.INTERROGATE,
+            self._sequence,
+            payload=b"\x00\x00\x00\x01",
+        )
+
+    def therapy_packet(self) -> Packet:
+        """The treatment-tampering command (Fig. 12)."""
+        self._sequence = (self._sequence + 1) % 256
+        # Alternate between two settings so every accepted command is an
+        # observable state change.
+        if self.imd.therapy.pacing_rate_bpm == 60:
+            target = TherapySettings(pacing_rate_bpm=120, shock_energy_j=1)
+        else:
+            target = TherapySettings(pacing_rate_bpm=60, shock_energy_j=30)
+        return Packet(
+            self.imd.serial,
+            CommandType.SET_THERAPY,
+            self._sequence,
+            payload=encode_therapy_payload(target),
+        )
+
+    # ------------------------------------------------------------------
+    # Trials
+    # ------------------------------------------------------------------
+
+    def attack_once(self, packet: Packet) -> AttackOutcome:
+        """Send one unauthorized command and report what happened."""
+        accepted_before = self.imd.accepted_packets
+        responded_before = self.imd.transmissions
+        therapy_before = self.imd.therapy
+        alarms_before = self.shield.alarms.alarm_count if self.shield else 0
+        jams_before = (
+            len(self.air.transmissions_by("shield", kind="jam"))
+            if self.shield
+            else 0
+        )
+
+        self.attacker.send_packet(packet)
+        self.simulator.run(until=self.simulator.now + self.TRIAL_SPACING_S)
+
+        alarm_raised = (
+            self.shield is not None
+            and self.shield.alarms.alarm_count > alarms_before
+        )
+        shield_jammed = (
+            self.shield is not None
+            and len(self.air.transmissions_by("shield", kind="jam")) > jams_before
+        )
+        return AttackOutcome(
+            imd_accepted=self.imd.accepted_packets > accepted_before,
+            imd_responded=self.imd.transmissions > responded_before,
+            therapy_changed=self.imd.therapy != therapy_before,
+            alarm_raised=alarm_raised,
+            shield_jammed=shield_jammed,
+        )
+
+    def run_trials(
+        self, n_trials: int, command: str = "interrogate"
+    ) -> list[AttackOutcome]:
+        """Repeat an attack ``n_trials`` times (the paper uses 100)."""
+        outcomes = []
+        for _ in range(n_trials):
+            if command == "interrogate":
+                packet = self.interrogate_packet()
+            elif command == "therapy":
+                packet = self.therapy_packet()
+            else:
+                raise ValueError(f"unknown command {command!r}")
+            outcomes.append(self.attack_once(packet))
+        return outcomes

@@ -1,0 +1,16 @@
+"""MICS band plan and FCC rules (S2 of the paper).
+
+The 402-405 MHz Medical Implant Communication Services band is divided
+into ten 300 kHz channels.  Devices must listen for 10 ms before claiming
+a channel, implants may transmit only in response to a programmer (or a
+life-threatening event), and external devices are limited to 25 uW EIRP.
+These rules are what the shield *exploits*: because the IMD only replies
+to programmer messages and does so in a bounded window without carrier
+sensing, the shield knows exactly when to jam (S6).
+"""
+
+from repro.mics.band import MICSBand, MICSChannel
+from repro.mics.channel_plan import ChannelPlan
+from repro.mics.regulations import FCCRules
+
+__all__ = ["MICSBand", "MICSChannel", "ChannelPlan", "FCCRules"]

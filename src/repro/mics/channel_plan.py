@@ -1,0 +1,56 @@
+"""Channel occupancy bookkeeping and listen-before-talk.
+
+A programmer/IMD pair claims one 300 kHz channel per session after
+sensing it idle for 10 ms (S2).  :class:`ChannelPlan` tracks which
+channels are busy so that honest pairs avoid each other, which is why the
+shield can use the session's channel as an extra component of the
+identifying sequence (S7(a): "this channel ID can be used to further
+specify the target IMD").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mics.band import MICSBand
+
+__all__ = ["ChannelPlan"]
+
+
+@dataclass
+class ChannelPlan:
+    """Track per-channel occupancy over the MICS band."""
+
+    band: MICSBand = field(default_factory=MICSBand)
+    _busy_until: dict[int, float] = field(default_factory=dict)
+
+    def occupy(self, channel_index: int, until_time_s: float) -> None:
+        """Mark a channel busy until the given simulation time."""
+        self.band.channel(channel_index)  # validates the index
+        current = self._busy_until.get(channel_index, float("-inf"))
+        self._busy_until[channel_index] = max(current, until_time_s)
+
+    def release(self, channel_index: int) -> None:
+        """Mark a channel idle immediately."""
+        self._busy_until.pop(channel_index, None)
+
+    def is_idle(self, channel_index: int, at_time_s: float) -> bool:
+        """Whether a channel is idle at a given simulation time."""
+        return at_time_s >= self._busy_until.get(channel_index, float("-inf"))
+
+    def idle_channels(self, at_time_s: float) -> list[int]:
+        """All channels idle at the given time, lowest index first."""
+        return [
+            i for i in range(self.band.n_channels) if self.is_idle(i, at_time_s)
+        ]
+
+    def pick_channel(self, at_time_s: float) -> int:
+        """Pick the first idle channel, as an honest pair would after LBT.
+
+        Raises :class:`RuntimeError` when the whole band is busy --
+        callers are expected to back off and retry.
+        """
+        idle = self.idle_channels(at_time_s)
+        if not idle:
+            raise RuntimeError("no idle MICS channel available")
+        return idle[0]

@@ -1,0 +1,51 @@
+"""FCC rules the honest devices in the simulation obey.
+
+S2 and S3 of the paper pin down the regulatory behaviour the shield
+relies on: programmers listen before transmitting, implants only respond,
+external devices respect the EIRP cap.  Adversaries, of course, may break
+any of these -- the rules object doubles as the spec of what a *commercial
+IMD programmer* attacker (Fig. 11/12) can and cannot do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FCCRules"]
+
+
+@dataclass(frozen=True)
+class FCCRules:
+    """MICS-band regulatory constants.
+
+    Attributes
+    ----------
+    external_eirp_dbm:
+        EIRP cap for devices outside the body (25 uW = -16 dBm).
+    implant_power_offset_db:
+        How far below the external cap implanted devices transmit
+        (S10.1(b): "the transmit power of implanted devices is 20 dB less
+        than the transmit power for devices outside the body").
+    listen_before_talk_s:
+        Mandatory channel-monitoring interval before claiming a channel
+        (S2: "they must 'listen' for a minimum of 10 ms").
+    imd_initiates:
+        False per FCC rules: the IMD "transmits only in response to a
+        transmission from a programmer or if it detects a life-threatening
+        condition".
+    """
+
+    external_eirp_dbm: float = -16.0
+    implant_power_offset_db: float = 20.0
+    listen_before_talk_s: float = 0.010
+    imd_initiates: bool = False
+
+    def max_tx_power_dbm(self, implanted: bool) -> float:
+        """The EIRP cap applicable to a device."""
+        if implanted:
+            return self.external_eirp_dbm - self.implant_power_offset_db
+        return self.external_eirp_dbm
+
+    def is_compliant_power(self, tx_dbm: float, implanted: bool = False) -> bool:
+        """Whether a transmit power respects the cap (1e-9 dB tolerance)."""
+        return tx_dbm <= self.max_tx_power_dbm(implanted) + 1e-9

@@ -1,0 +1,48 @@
+"""Carrier-frequency-offset estimation and compensation.
+
+The shield "compensates for any carrier frequency offset between its RF
+chain and that of the IMD" (S6(a)): without compensation, the shaped
+jamming profile would sit at the wrong place in the channel and the
+antidote's channel estimate would rotate over a packet.  We model CFO as a
+complex-exponential rotation of the baseband waveform and estimate it the
+standard way, from the phase slope of a known tone or preamble.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.signal import Waveform
+
+__all__ = ["apply_cfo", "estimate_cfo_from_tone", "compensate_cfo"]
+
+
+def apply_cfo(waveform: Waveform, offset_hz: float) -> Waveform:
+    """Rotate a waveform by a carrier-frequency offset."""
+    return waveform.frequency_shifted(offset_hz)
+
+
+def estimate_cfo_from_tone(
+    received: Waveform, reference: Waveform
+) -> float:
+    """Estimate CFO by comparing a received copy of a known waveform.
+
+    Removes the known modulation (multiply by the conjugate reference)
+    and fits the residual phase ramp.  The phase-difference estimator is
+    unbiased up to +/- sample_rate / 2 and degrades gracefully with noise.
+    """
+    if received.sample_rate != reference.sample_rate:
+        raise ValueError("sample-rate mismatch between received and reference")
+    n = min(len(received), len(reference))
+    if n < 2:
+        raise ValueError("need at least two samples to estimate a frequency")
+    residual = received.samples[:n] * np.conj(reference.samples[:n])
+    # Mean per-sample phase increment of the residual carrier.
+    increments = np.angle(residual[1:] * np.conj(residual[:-1]))
+    mean_step = float(np.mean(increments))
+    return mean_step * received.sample_rate / (2.0 * np.pi)
+
+
+def compensate_cfo(waveform: Waveform, offset_hz: float) -> Waveform:
+    """Undo a (known or estimated) carrier-frequency offset."""
+    return waveform.frequency_shifted(-offset_hz)

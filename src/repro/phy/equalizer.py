@@ -1,0 +1,137 @@
+"""Time-domain channel equalisation (footnote 2 of S5).
+
+For wideband multipath channels the paper notes that, instead of OFDM,
+"one could compute the multi-path channel and apply an equalizer on the
+time-domain antidote signal that inverts the multi-path of the jamming
+signal."  This module provides that path: least-squares estimation of a
+multi-tap channel from a known probe, and zero-forcing / MMSE FIR
+equalisers built from the estimate.
+
+Channel inverses are generally non-causal (the matched-filter part of the
+MMSE solution looks *backwards*), so an equaliser carries an explicit
+``delay``: its taps are designed so that ``conv(channel, taps)`` peaks at
+``delay`` samples, and :meth:`FIREqualizer.apply` trims that delay off so
+the output stays sample-aligned with the input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.phy.signal import Waveform
+
+__all__ = [
+    "FIREqualizer",
+    "estimate_multipath_channel",
+    "zero_forcing_equalizer",
+    "mmse_equalizer",
+    "apply_fir",
+]
+
+
+def estimate_multipath_channel(
+    probe: Waveform, received: Waveform, n_taps: int
+) -> np.ndarray:
+    """Least-squares multi-tap channel estimate from a known probe.
+
+    Solves ``received ~ conv(probe, h)`` for the first ``n_taps`` of
+    ``h`` via the normal equations of the convolution matrix.
+    """
+    if n_taps < 1:
+        raise ValueError("need at least one channel tap")
+    if len(probe) < n_taps * 4:
+        raise ValueError("probe too short to resolve that many taps")
+    if len(received) < len(probe):
+        raise ValueError("received waveform shorter than the probe")
+    x = probe.samples
+    y = received.samples[: len(x)]
+    rows = len(x) - n_taps + 1
+    matrix = np.empty((rows, n_taps), dtype=np.complex128)
+    for k in range(n_taps):
+        matrix[:, k] = x[n_taps - 1 - k : len(x) - k]
+    target = y[n_taps - 1 :]
+    taps, *_ = np.linalg.lstsq(matrix, target, rcond=None)
+    return taps
+
+
+@dataclass(frozen=True)
+class FIREqualizer:
+    """FIR equaliser taps plus the equalisation delay they introduce."""
+
+    taps: np.ndarray
+    delay: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "taps", np.asarray(self.taps, dtype=np.complex128)
+        )
+        if self.delay < 0 or self.delay >= len(self.taps):
+            raise ValueError("delay must lie inside the tap span")
+
+    def apply(self, waveform: Waveform) -> Waveform:
+        """Equalise a waveform, compensating the equalisation delay so
+        the output stays aligned with the pre-channel signal."""
+        out = np.convolve(waveform.samples, self.taps)
+        out = out[self.delay : self.delay + len(waveform.samples)]
+        return Waveform(out, waveform.sample_rate)
+
+
+def _frequency_design(
+    response_fn, n_taps: int, delay: int, n_fft: int
+) -> np.ndarray:
+    """Sample a target frequency response, add a linear-phase delay, and
+    return the first ``n_taps`` of its impulse response."""
+    k = np.arange(n_fft)
+    phase = np.exp(-2j * np.pi * k * delay / n_fft)
+    impulse = np.fft.ifft(response_fn * phase)
+    return impulse[:n_taps]
+
+
+def zero_forcing_equalizer(
+    channel_taps: np.ndarray, n_taps: int = 64, delay: int | None = None
+) -> FIREqualizer:
+    """FIR approximation of the exact channel inverse (zero-forcing).
+
+    Raises on channels with spectral nulls, where the inverse diverges;
+    use :func:`mmse_equalizer` there.
+    """
+    channel_taps = np.asarray(channel_taps, dtype=np.complex128)
+    if channel_taps.size == 0:
+        raise ValueError("channel must have at least one tap")
+    if delay is None:
+        delay = n_taps // 4
+    n_fft = max(256, 4 * n_taps)
+    response = np.fft.fft(channel_taps, n_fft)
+    if np.min(np.abs(response)) < 1e-6:
+        raise ValueError("channel has a spectral null; use the MMSE equalizer")
+    taps = _frequency_design(1.0 / response, n_taps, delay, n_fft)
+    return FIREqualizer(taps, delay)
+
+
+def mmse_equalizer(
+    channel_taps: np.ndarray,
+    noise_to_signal: float,
+    n_taps: int = 64,
+    delay: int | None = None,
+) -> FIREqualizer:
+    """MMSE FIR equaliser: regularised inverse that tolerates nulls."""
+    if noise_to_signal < 0:
+        raise ValueError("noise-to-signal ratio cannot be negative")
+    channel_taps = np.asarray(channel_taps, dtype=np.complex128)
+    if channel_taps.size == 0:
+        raise ValueError("channel must have at least one tap")
+    if delay is None:
+        delay = n_taps // 4
+    n_fft = max(256, 4 * n_taps)
+    response = np.fft.fft(channel_taps, n_fft)
+    wiener = np.conj(response) / (np.abs(response) ** 2 + noise_to_signal)
+    taps = _frequency_design(wiener, n_taps, delay, n_fft)
+    return FIREqualizer(taps, delay)
+
+
+def apply_fir(waveform: Waveform, taps: np.ndarray) -> Waveform:
+    """Filter a waveform with raw FIR taps (no delay compensation)."""
+    out = np.convolve(waveform.samples, np.asarray(taps, dtype=np.complex128))
+    return Waveform(out[: len(waveform.samples)], waveform.sample_rate)

@@ -1,0 +1,101 @@
+"""Behavioural model of the IMD programmer (the Carelink stand-in).
+
+Programmers are the only honest parties allowed to command an IMD.  They
+follow the MICS etiquette of S2: listen to a candidate channel for 10 ms,
+claim it if idle, then alternate command/response with the IMD for the
+session.  In the shielded architecture (S4) the programmer never talks to
+the IMD directly -- it exchanges messages with the *shield* over an
+encrypted channel and the shield relays them -- but the over-the-air
+behaviour modelled here is the same either way, which is also why a
+*replayed* programmer transmission (S9's adversary) is indistinguishable
+on the air from a real one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mics.regulations import FCCRules
+from repro.protocol.commands import (
+    CommandType,
+    TherapySettings,
+    encode_therapy_payload,
+)
+from repro.protocol.packets import DecodeError, Packet, PacketCodec
+
+__all__ = ["Programmer"]
+
+
+@dataclass
+class Programmer:
+    """Builds command packets for a target IMD and parses its replies."""
+
+    target_serial: bytes
+    codec: PacketCodec = field(default_factory=PacketCodec)
+    rules: FCCRules = field(default_factory=FCCRules)
+    tx_power_dbm: float = field(default=-16.0)
+
+    def __post_init__(self) -> None:
+        if not self.rules.is_compliant_power(self.tx_power_dbm, implanted=False):
+            raise ValueError(
+                f"programmer TX power {self.tx_power_dbm} dBm exceeds the FCC cap"
+            )
+        self._sequence = 0
+        self._replies: list[Packet] = []
+
+    # ------------------------------------------------------------------
+    # Command builders
+    # ------------------------------------------------------------------
+
+    def _next_packet(self, opcode: CommandType, payload: bytes = b"") -> Packet:
+        self._sequence = (self._sequence + 1) % 256
+        return Packet(self.target_serial, opcode, self._sequence, payload)
+
+    def open_session(self) -> Packet:
+        return self._next_packet(CommandType.SESSION_OPEN)
+
+    def close_session(self) -> Packet:
+        return self._next_packet(CommandType.SESSION_CLOSE)
+
+    def interrogate(self) -> Packet:
+        """Request stored telemetry -- the command whose reply carries the
+        private data the passive defence must hide."""
+        return self._next_packet(CommandType.INTERROGATE)
+
+    def set_therapy(self, settings: TherapySettings) -> Packet:
+        return self._next_packet(
+            CommandType.SET_THERAPY, encode_therapy_payload(settings)
+        )
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+
+    def handle_bits(self, bits: np.ndarray) -> Packet | None:
+        """Parse an IMD reply; returns ``None`` for noise/other traffic."""
+        try:
+            packet = self.codec.decode(bits)
+        except DecodeError:
+            return None
+        return self.handle_packet(packet)
+
+    def handle_packet(self, packet: Packet) -> Packet | None:
+        if packet.serial != self.target_serial or not packet.opcode.is_imd_response:
+            return None
+        self._replies.append(packet)
+        return packet
+
+    @property
+    def replies(self) -> list[Packet]:
+        """All IMD replies received this session, oldest first."""
+        return list(self._replies)
+
+    # ------------------------------------------------------------------
+    # MICS etiquette
+    # ------------------------------------------------------------------
+
+    def listen_before_talk_s(self) -> float:
+        """How long the programmer must sense a channel before claiming it."""
+        return self.rules.listen_before_talk_s

@@ -1,0 +1,79 @@
+"""Session state machine for a programmer/IMD exchange.
+
+S2: a pair finds an idle channel (after 10 ms of listening), establishes
+a session, and "can keep using the channel until the end of their
+session, or until they encounter persistent interference".  The session
+object tracks that lifecycle plus the channel lock the shield uses as an
+extra identifying signal (S7(a)).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["SessionState", "Session"]
+
+
+class SessionState(enum.Enum):
+    IDLE = "idle"
+    LISTENING = "listening"
+    ACTIVE = "active"
+    CLOSED = "closed"
+
+
+@dataclass
+class Session:
+    """One programmer/IMD session on a locked MICS channel."""
+
+    channel_index: int | None = None
+    state: SessionState = SessionState.IDLE
+    commands_sent: int = 0
+    replies_received: int = 0
+    interference_events: int = 0
+    #: Consecutive interference events after which the pair abandons the
+    #: channel and re-listens (the "persistent interference" rule).
+    interference_limit: int = 3
+    _consecutive_interference: int = field(default=0, repr=False)
+
+    def start_listening(self) -> None:
+        if self.state not in (SessionState.IDLE, SessionState.CLOSED):
+            raise RuntimeError(f"cannot listen from state {self.state}")
+        self.state = SessionState.LISTENING
+
+    def activate(self, channel_index: int) -> None:
+        if self.state != SessionState.LISTENING:
+            raise RuntimeError("must listen before claiming a channel")
+        self.channel_index = channel_index
+        self.state = SessionState.ACTIVE
+        self._consecutive_interference = 0
+
+    def record_command(self) -> None:
+        self._require_active()
+        self.commands_sent += 1
+
+    def record_reply(self) -> None:
+        self._require_active()
+        self.replies_received += 1
+        self._consecutive_interference = 0
+
+    def record_interference(self) -> bool:
+        """Note an interference event; returns True if the channel must be
+        abandoned (persistent interference)."""
+        self._require_active()
+        self.interference_events += 1
+        self._consecutive_interference += 1
+        if self._consecutive_interference >= self.interference_limit:
+            self.channel_index = None
+            self.state = SessionState.IDLE
+            self._consecutive_interference = 0
+            return True
+        return False
+
+    def close(self) -> None:
+        self.channel_index = None
+        self.state = SessionState.CLOSED
+
+    def _require_active(self) -> None:
+        if self.state != SessionState.ACTIVE:
+            raise RuntimeError(f"session is not active (state {self.state})")

@@ -1,0 +1,40 @@
+"""Discrete-event simulation substrate.
+
+The protocol experiments (Figs. 3, 11-13, Tables 1-2) run on a classic
+event-driven simulator:
+
+* :mod:`repro.sim.engine` -- a heap-based scheduler with cancellable
+  events;
+* :mod:`repro.sim.air` -- the shared medium: per-channel transmission
+  bookkeeping, per-link received powers, interference segmentation, and
+  bit-level error injection via the analytic FSK error models;
+* :mod:`repro.sim.radio` -- device adapters that connect the protocol
+  models (IMD, programmer) to the air;
+* :mod:`repro.sim.trace` -- timeline recording, used to reproduce the
+  Fig. 3 timing captures.
+
+The air works at *bit* granularity: a reception is split into intervals
+of constant interference (others starting/stopping mid-packet -- exactly
+what reactive jamming does), each interval's SINR feeds the FSK BER
+model, and the resulting bit flips then face the real packet CRC.
+"""
+
+from repro.sim.air import Air, AirTransmission, LinkModel, Reception
+from repro.sim.engine import Event, Simulator
+from repro.sim.radio import IMDRadio, ObserverRadio, ProgrammerRadio, RadioDevice
+from repro.sim.trace import TimelineTrace, TraceEntry
+
+__all__ = [
+    "Air",
+    "AirTransmission",
+    "Event",
+    "IMDRadio",
+    "LinkModel",
+    "ObserverRadio",
+    "ProgrammerRadio",
+    "RadioDevice",
+    "Reception",
+    "Simulator",
+    "TimelineTrace",
+    "TraceEntry",
+]

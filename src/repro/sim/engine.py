@@ -1,0 +1,95 @@
+"""Heap-based discrete-event scheduler.
+
+Deliberately minimal: events are ``(time, sequence, callback)`` triples in
+a binary heap; cancellation marks the event dead rather than re-heaping.
+Ties break by scheduling order, so same-instant events run
+deterministically -- important because several experiments schedule a
+jam-start and a packet-end at the same instant.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Event", "Simulator"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback; compare by (time, sequence)."""
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    name: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Run callbacks in virtual-time order."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._processed
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None], name: str = ""
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay {delay})")
+        return self.schedule_at(self._now + delay, callback, name)
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], None], name: str = ""
+    ) -> Event:
+        """Schedule ``callback`` at an absolute virtual time."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        event = Event(time, next(self._counter), callback, name)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def run(self, until: float | None = None) -> None:
+        """Process events until the queue empties or ``until`` is reached.
+
+        When ``until`` is given, virtual time is advanced to exactly
+        ``until`` even if the queue empties earlier, so repeated
+        ``run(until=...)`` calls compose predictably.
+        """
+        while self._heap:
+            event = self._heap[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.callback()
+        if until is not None and until > self._now:
+            self._now = until
+
+    def pending(self) -> int:
+        """Number of live events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)

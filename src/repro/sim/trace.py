@@ -1,0 +1,76 @@
+"""Timeline tracing, reproducing the paper's Fig. 3 signal captures.
+
+Fig. 3 is an oscilloscope-style view of the channel: the programmer's
+message, a fixed 3.5 ms gap, then the IMD's reply -- and in Fig. 3(b) a
+second message occupying the medium inside that gap, which the IMD
+ignores because it does not carrier-sense.  :class:`TimelineTrace`
+records enough of the simulation timeline to print the same story and to
+let the Fig. 3 benchmark measure the reply latency distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TraceEntry", "TimelineTrace"]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One timeline record."""
+
+    time: float
+    device: str
+    event: str
+    details: dict
+
+    def __str__(self) -> str:
+        info = " ".join(f"{k}={v}" for k, v in sorted(self.details.items()))
+        return f"[{self.time * 1e3:9.3f} ms] {self.device:<12} {self.event:<10} {info}"
+
+
+class TimelineTrace:
+    """Append-only record of simulation events."""
+
+    def __init__(self) -> None:
+        self._entries: list[TraceEntry] = []
+
+    def record(self, time: float, device: str, event: str, **details) -> None:
+        self._entries.append(TraceEntry(time, device, event, details))
+
+    @property
+    def entries(self) -> list[TraceEntry]:
+        return list(self._entries)
+
+    def entries_for(self, device: str, event: str | None = None) -> list[TraceEntry]:
+        return [
+            e
+            for e in self._entries
+            if e.device == device and (event is None or e.event == event)
+        ]
+
+    def reply_latencies(
+        self, query_device: str, reply_device: str
+    ) -> list[float]:
+        """Gaps between each ``query_device`` tx-end and the next
+        ``reply_device`` tx-start.
+
+        This is the Fig. 3 measurement: for the modelled Virtuoso the
+        gaps cluster at 3.5 ms regardless of channel occupancy.
+        """
+        ends = [
+            e.time + e.details.get("duration", 0.0)
+            for e in self.entries_for(query_device, "tx-start")
+        ]
+        replies = [e.time for e in self.entries_for(reply_device, "tx-start")]
+        latencies = []
+        for end in ends:
+            later = [t for t in replies if t > end]
+            if later:
+                latencies.append(min(later) - end)
+        return latencies
+
+    def render(self, limit: int | None = None) -> str:
+        """Human-readable timeline, optionally truncated."""
+        entries = self._entries if limit is None else self._entries[:limit]
+        return "\n".join(str(e) for e in entries)

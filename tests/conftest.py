@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.phy.fsk import FSKConfig
+from repro.protocol.packets import PacketCodec
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG; tests must not depend on global random state."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def fsk_config() -> FSKConfig:
+    return FSKConfig()
+
+
+@pytest.fixture
+def codec() -> PacketCodec:
+    return PacketCodec()
+
+
+@pytest.fixture
+def serial() -> bytes:
+    return bytes(range(10))

@@ -1,0 +1,175 @@
+"""Tests for adversary models: eavesdropping strategies and active attacks."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.eavesdropper import Eavesdropper
+from repro.adversary.strategies import (
+    FilterBankStrategy,
+    SpectralSubtractionStrategy,
+    TreatJammingAsNoise,
+)
+from repro.adversary.highpower import HIGH_POWER_FACTOR_DB, HighPowerAttacker
+from repro.core.jamming import ShapedJammer
+from repro.experiments.testbed import AttackTestbed, ExperimentLinkModel, Placement
+from repro.phy.fsk import FSKConfig, FSKModulator
+from repro.phy.signal import Waveform
+
+
+def _jammed_packet(rng, jammer, sir_db, n_bits=400):
+    bits = rng.integers(0, 2, size=n_bits)
+    signal = FSKModulator().modulate(bits)
+    jam = jammer.generate(len(signal), power=10 ** (-sir_db / 10.0))
+    mixed = Waveform(signal.samples + jam.samples, signal.sample_rate)
+    return bits, mixed
+
+
+class TestEavesdropperStrategies:
+    def test_clean_signal_fully_decoded(self, rng):
+        bits = rng.integers(0, 2, size=200)
+        w = FSKModulator().modulate(bits)
+        result = Eavesdropper().attack(w, bits)
+        assert result.bit_error_rate == 0.0
+
+    def test_shaped_jamming_reduces_to_guessing(self, rng):
+        """S6: under shaped jamming at -20 dB SIR the eavesdropper's BER
+        is ~50% no matter the strategy."""
+        jammer = ShapedJammer.matched_to_fsk(50e3, 100e3, 600e3, rng=rng)
+        bits, mixed = _jammed_packet(rng, jammer, sir_db=-20.0, n_bits=2000)
+        for strategy in (
+            TreatJammingAsNoise(),
+            FilterBankStrategy(),
+            SpectralSubtractionStrategy(),
+        ):
+            result = Eavesdropper(strategy=strategy).attack(mixed, bits)
+            assert 0.35 < result.bit_error_rate < 0.65, strategy.name
+
+    def test_shaped_jamming_more_efficient_per_watt(self, rng):
+        """The Fig. 5 point, measured end to end: at equal jamming power
+        the shaped jam produces a higher eavesdropper BER than the
+        constant-profile jam, because its energy sits where the FSK
+        detector listens.  (The adversary's band-pass attack cannot
+        recover the difference: the optimal noncoherent detector is
+        already a matched filter, so out-of-band jamming is wasted --
+        which is exactly why an efficient jammer must shape.)"""
+        shaped = ShapedJammer.matched_to_fsk(50e3, 100e3, 600e3, rng=rng)
+        flat = ShapedJammer.flat(300e3, 600e3, rng=rng)
+        bers = {}
+        for name, jammer in (("shaped", shaped), ("flat", flat)):
+            total = 0.0
+            for _ in range(4):
+                bits, mixed = _jammed_packet(rng, jammer, sir_db=-3.0, n_bits=2000)
+                total += (
+                    Eavesdropper(strategy=TreatJammingAsNoise())
+                    .attack(mixed, bits)
+                    .bit_error_rate
+                )
+            bers[name] = total / 4
+        assert bers["shaped"] > bers["flat"] * 1.1
+
+    def test_filter_bank_useless_against_shaped(self, rng):
+        """...and why the shield shapes its jam: the same filter gains
+        nothing when the jamming power already sits on the tones."""
+        shaped = ShapedJammer.matched_to_fsk(50e3, 100e3, 600e3, rng=rng)
+        bits, mixed = _jammed_packet(rng, shaped, sir_db=-6.0, n_bits=2000)
+        naive = Eavesdropper(strategy=TreatJammingAsNoise()).attack(mixed, bits)
+        filtered = Eavesdropper(strategy=FilterBankStrategy()).attack(mixed, bits)
+        assert filtered.bit_error_rate > naive.bit_error_rate * 0.7
+
+    def test_result_reports_strategy(self, rng):
+        bits = rng.integers(0, 2, size=50)
+        w = FSKModulator().modulate(bits)
+        result = Eavesdropper(strategy=FilterBankStrategy()).attack(w, bits)
+        assert result.strategy == "FilterBankStrategy"
+
+
+class TestActiveAttackers:
+    def test_injector_sends_valid_packet(self):
+        bed = AttackTestbed(location_index=1, shield_present=False, seed=1)
+        tx = bed.attacker.send_packet(bed.interrogate_packet())
+        assert tx.n_bits == bed.codec.n_bits(bed.interrogate_packet())
+        assert bed.attacker.sent == [tx]
+
+    def test_highpower_eirp(self):
+        from repro.sim.engine import Simulator
+
+        attacker = HighPowerAttacker(
+            Simulator(), channel=0, shield_tx_power_dbm=-16.0, antenna_gain_dbi=10.0
+        )
+        assert attacker.tx_power_dbm == pytest.approx(-16.0 + 20.0 + 10.0)
+        assert attacker.amplifier_gain_db == HIGH_POWER_FACTOR_DB
+
+    def test_highpower_gain_validation(self):
+        from repro.sim.engine import Simulator
+
+        with pytest.raises(ValueError):
+            HighPowerAttacker(Simulator(), 0, antenna_gain_dbi=-3.0)
+
+    def test_replay_attack_end_to_end(self, serial):
+        """S9's methodology: record a programmer command off the air,
+        demodulate to clean bits, replay it later -- the IMD accepts."""
+        from repro.adversary.active import ReplayAttacker
+        from repro.channel.link_budget import LinkBudget
+        from repro.protocol.imd import IMDevice
+        from repro.protocol.packets import PacketCodec
+        from repro.protocol.programmer import Programmer
+        from repro.sim.air import Air
+        from repro.sim.engine import Simulator
+        from repro.sim.radio import IMDRadio, ProgrammerRadio
+
+        sim = Simulator()
+        budget = LinkBudget()
+        links = ExperimentLinkModel(budget)
+        air = Air(sim, links, rng=np.random.default_rng(4))
+        codec = PacketCodec()
+        imd = IMDevice(serial, codec=codec)
+        air_imd = IMDRadio(sim, imd, channel=0)
+        links.place(Placement("imd", in_phantom=True))
+        air.register(air_imd)
+        programmer = Programmer(target_serial=serial, codec=codec)
+        prog_radio = ProgrammerRadio(sim, programmer, channel=0)
+        links.place(Placement("programmer", location=budget.geometry.location(3)))
+        air.register(prog_radio)
+        attacker = ReplayAttacker(
+            sim, channel=0, tx_power_dbm=-16.0, codec=codec, name="adversary"
+        )
+        links.place(Placement("adversary", location=budget.geometry.location(5)))
+        air.register(attacker)
+
+        # Legitimate exchange, overheard by the attacker.
+        prog_radio.send_command(programmer.interrogate(), skip_lbt=True)
+        sim.run(until=0.1)
+        assert len(attacker.recorded) == 1
+        before = imd.transmissions
+        # Later: the attacker replays the clean re-modulated copy.
+        attacker.replay()
+        sim.run(until=0.2)
+        assert imd.transmissions == before + 1
+
+    def test_replay_ignores_imd_responses(self, serial):
+        """The replay attacker keeps commands, not telemetry."""
+        bed = AttackTestbed(location_index=1, shield_present=False, seed=1)
+        bed.attack_once(bed.interrogate_packet())  # IMD replies once
+        # The CommandInjector in the bed is not a recorder; build one and
+        # feed it the reply reception directly.
+        from repro.adversary.active import ReplayAttacker
+
+        recorder = ReplayAttacker(
+            bed.simulator, channel=0, tx_power_dbm=-16.0, codec=bed.codec, name="rec"
+        )
+        bed.links.place(
+            Placement("rec", location=bed.budget.geometry.location(2))
+        )
+        bed.air.register(recorder)
+        bed.attack_once(bed.interrogate_packet())
+        assert all(
+            not p.opcode.is_imd_response for p in recorder.recorded
+        )
+
+    def test_replay_with_nothing_recorded(self):
+        from repro.adversary.active import ReplayAttacker
+        from repro.sim.engine import Simulator
+
+        attacker = ReplayAttacker(Simulator(), channel=0, tx_power_dbm=-16.0)
+        with pytest.raises(RuntimeError):
+            attacker.replay()

@@ -1,0 +1,139 @@
+"""Tests for the multi-antenna eavesdropper (S3.2's MIMO argument).
+
+The paper argues a MIMO eavesdropper cannot separate the IMD's signal
+from the jam when the shield sits much less than half a wavelength from
+the implant, because the two channel vectors are then highly correlated.
+We reproduce the *mechanism* and its gradient faithfully -- and also the
+honest caveat the follow-on literature established: given a static
+channel and a generous SNR, the jam-subspace projection attack recovers
+part of the signal even at high correlation.  The shield's protection
+against array eavesdroppers is therefore strongest exactly where the
+paper's evaluation lives: realistic eavesdropper SNRs at stand-off
+distances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adversary.mimo import (
+    MIMOEavesdropper,
+    correlated_channel_pair,
+    jakes_correlation,
+)
+from repro.core.jamming import ShapedJammer
+
+
+@pytest.fixture(scope="module")
+def jammer():
+    return ShapedJammer.matched_to_fsk(
+        50e3, 100e3, 600e3, rng=np.random.default_rng(5)
+    )
+
+
+def _mean_ber(separation_m, snr_db, jammer, n_bits=500, n_trials=5, seed=9):
+    rng = np.random.default_rng(seed)
+    eve = MIMOEavesdropper(n_antennas=2, rng=rng)
+    total = 0.0
+    for _ in range(n_trials):
+        bits = rng.integers(0, 2, size=n_bits)
+        jam = jammer.generate(n_bits * 6)
+        total += eve.attack(
+            bits, jam, source_separation_m=separation_m, snr_db=snr_db
+        ).bit_error_rate
+    return total / n_trials
+
+
+class TestJakesCorrelation:
+    def test_colocated_fully_correlated(self):
+        assert jakes_correlation(0.0) == pytest.approx(1.0)
+
+    def test_high_at_centimetres(self):
+        """At necklace distances the channels are nearly collinear."""
+        assert jakes_correlation(0.02) > 0.99
+        assert jakes_correlation(0.05) > 0.95
+
+    def test_decorrelated_beyond_half_wavelength(self):
+        """The S3.2 threshold: ~37 cm at 403 MHz."""
+        assert abs(jakes_correlation(0.3715 / 2 * 2)) < 0.45
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jakes_correlation(-1.0)
+        with pytest.raises(ValueError):
+            jakes_correlation(1.0, wavelength_m=0.0)
+
+
+class TestCorrelatedChannels:
+    def test_statistical_correlation(self, rng):
+        n_antennas = 2
+        samples = []
+        for _ in range(3000):
+            a, b = correlated_channel_pair(n_antennas, 0.8, rng)
+            samples.append(np.vdot(a, b))
+        # E[a^H b] = rho * E[|a|^2] = rho * n_antennas for unit-power entries.
+        measured = np.mean(samples).real / n_antennas
+        assert measured == pytest.approx(0.8, abs=0.05)
+
+    def test_unit_power(self, rng):
+        powers = [
+            np.mean(np.abs(correlated_channel_pair(4, 0.5, rng)[1]) ** 2)
+            for _ in range(2000)
+        ]
+        assert np.mean(powers) == pytest.approx(1.0, abs=0.05)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            correlated_channel_pair(0, 0.5, rng)
+        with pytest.raises(ValueError):
+            correlated_channel_pair(2, 1.5, rng)
+
+
+class TestMIMOAttack:
+    def test_separated_sources_are_separable(self, jammer):
+        """With the sources half a wavelength apart (the configuration
+        the paper warns against), the array nulls the jam and reads the
+        telemetry even at modest SNR."""
+        ber = _mean_ber(separation_m=0.37, snr_db=10.0, jammer=jammer)
+        assert ber < 0.05
+
+    def test_colocated_sources_resist_at_standoff_snr(self, jammer):
+        """Worn on the implant (2 cm), the correlated channels leave so
+        little signal outside the jam subspace that an eavesdropper at
+        stand-off SNR (~6 dB: the testbed's far NLOS locations) stays
+        close to guessing."""
+        ber = _mean_ber(separation_m=0.02, snr_db=6.0, jammer=jammer)
+        assert ber > 0.25
+
+    def test_protection_degrades_with_separation(self, jammer):
+        """The design gradient behind 'wear it close': BER falls as the
+        shield drifts from the implant."""
+        close = _mean_ber(0.02, 6.0, jammer)
+        mid = _mean_ber(0.12, 6.0, jammer)
+        far = _mean_ber(0.37, 6.0, jammer)
+        assert close > far + 0.1
+        assert close > mid >= far - 0.02
+
+    def test_high_snr_static_channel_caveat(self, jammer):
+        """The honest caveat (cf. later friendly-jamming analyses): at a
+        lab-grade 40 dB SNR over a perfectly static channel, projection
+        recovers the signal even at 2 cm separation.  Real deployments
+        rely on eavesdroppers not getting that vantage."""
+        ber = _mean_ber(separation_m=0.02, snr_db=40.0, jammer=jammer)
+        assert ber < 0.1
+
+    def test_jam_rejection_reported(self, jammer):
+        rng = np.random.default_rng(3)
+        eve = MIMOEavesdropper(n_antennas=2, rng=rng)
+        bits = rng.integers(0, 2, size=300)
+        result = eve.attack(bits, jammer.generate(1800), 0.37, snr_db=30.0)
+        assert result.jam_rejection_db > 20.0
+
+    def test_needs_two_antennas(self):
+        with pytest.raises(ValueError):
+            MIMOEavesdropper(n_antennas=1)
+
+    def test_short_jam_rejected(self, jammer):
+        rng = np.random.default_rng(4)
+        eve = MIMOEavesdropper(rng=rng)
+        with pytest.raises(ValueError):
+            eve.attack(np.zeros(100, dtype=int), jammer.generate(60), 0.1)

@@ -1,0 +1,70 @@
+"""Tests for the waveform-level medium."""
+
+import numpy as np
+import pytest
+
+from repro.channel.medium import Transmission, WaveformMedium
+from repro.phy.signal import Waveform
+
+
+def _ones(n=100):
+    return Waveform(np.ones(n), 600e3)
+
+
+class TestWaveformMedium:
+    def test_single_link_scaling(self, rng):
+        medium = WaveformMedium(rng)
+        medium.set_gain("a", "b", 0.5)
+        rx = medium.receive("b", [Transmission("a", _ones())])
+        assert rx.power() == pytest.approx(0.25)
+
+    def test_loss_db_sets_power(self, rng):
+        medium = WaveformMedium(rng)
+        medium.set_loss_db("a", "b", 20.0, random_phase=False)
+        rx = medium.receive("b", [Transmission("a", _ones())])
+        assert rx.power() == pytest.approx(0.01, rel=1e-6)
+
+    def test_linear_combination(self, rng):
+        """S6: the channel linearly combines concurrent transmissions."""
+        medium = WaveformMedium(rng)
+        medium.set_gain("imd", "eve", 1.0)
+        medium.set_gain("jammer", "eve", 1.0)
+        rx = medium.receive(
+            "eve",
+            [Transmission("imd", _ones()), Transmission("jammer", _ones())],
+        )
+        assert np.allclose(rx.samples, 2.0)
+
+    def test_delay_applied(self, rng):
+        medium = WaveformMedium(rng)
+        medium.set_gain("a", "b", 1.0)
+        rx = medium.receive("b", [Transmission("a", _ones(4), delay_samples=2)])
+        assert np.allclose(rx.samples[:2], 0.0)
+        assert len(rx) == 6
+
+    def test_missing_link_is_loud_error(self, rng):
+        medium = WaveformMedium(rng)
+        with pytest.raises(KeyError):
+            medium.receive("b", [Transmission("a", _ones())])
+
+    def test_noise_power_added(self, rng):
+        medium = WaveformMedium(rng)
+        medium.set_gain("a", "b", 0.0)
+        rx = medium.receive(
+            "b", [Transmission("a", _ones(50_000))], noise_power=0.3
+        )
+        assert rx.power() == pytest.approx(0.3, rel=0.05)
+
+    def test_empty_receive_rejected(self, rng):
+        with pytest.raises(ValueError):
+            WaveformMedium(rng).receive("b", [])
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Transmission("a", _ones(), delay_samples=-1)
+
+    def test_has_link(self, rng):
+        medium = WaveformMedium(rng)
+        medium.set_gain("a", "b", 1.0)
+        assert medium.has_link("a", "b")
+        assert not medium.has_link("b", "a")

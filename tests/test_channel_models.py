@@ -1,0 +1,88 @@
+"""Tests for pathloss and body-loss models."""
+
+import pytest
+
+from repro.channel.models import (
+    BodyLoss,
+    DualSlopePathLoss,
+    MICS_CENTER_FREQUENCY_HZ,
+    free_space_path_loss_db,
+)
+
+
+class TestFreeSpace:
+    def test_known_value_at_1m_403mhz(self):
+        # FSPL(1 m, 403.5 MHz) ~ 24.6 dB.
+        loss = free_space_path_loss_db(1.0, MICS_CENTER_FREQUENCY_HZ)
+        assert loss == pytest.approx(24.56, abs=0.1)
+
+    def test_inverse_square(self):
+        l1 = free_space_path_loss_db(1.0, 400e6)
+        l10 = free_space_path_loss_db(10.0, 400e6)
+        assert l10 - l1 == pytest.approx(20.0, abs=1e-6)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            free_space_path_loss_db(0.0, 400e6)
+        with pytest.raises(ValueError):
+            free_space_path_loss_db(1.0, 0.0)
+
+
+class TestDualSlope:
+    def test_reference_equals_free_space(self):
+        m = DualSlopePathLoss()
+        assert m.loss_db(m.reference_m) == pytest.approx(m.reference_loss_db)
+
+    def test_near_slope(self):
+        m = DualSlopePathLoss(near_exponent=2.0, reference_m=0.1)
+        assert m.loss_db(1.0) - m.loss_db(0.1) == pytest.approx(20.0)
+
+    def test_far_slope_steeper(self):
+        m = DualSlopePathLoss()
+        near_gain = m.loss_db(4.0) - m.loss_db(2.0)  # both below breakpoint
+        far_gain = m.loss_db(20.0) - m.loss_db(10.0)  # both above
+        assert far_gain > near_gain
+
+    def test_continuous_at_breakpoint(self):
+        m = DualSlopePathLoss()
+        below = m.loss_db(m.breakpoint_m * 0.999)
+        above = m.loss_db(m.breakpoint_m * 1.001)
+        assert above - below < 0.1
+
+    def test_monotone_in_distance(self):
+        m = DualSlopePathLoss()
+        distances = [0.2, 0.5, 1, 2, 5, 10, 20, 30]
+        losses = [m.loss_db(d) for d in distances]
+        assert all(a < b for a, b in zip(losses, losses[1:]))
+
+    def test_extra_loss_added(self):
+        m = DualSlopePathLoss()
+        assert m.loss_db(10.0, extra_loss_db=15.0) == m.loss_db(10.0) + 15.0
+
+    def test_rejects_negative_extra(self):
+        with pytest.raises(ValueError):
+            DualSlopePathLoss().loss_db(1.0, extra_loss_db=-1.0)
+
+    def test_rejects_nonpositive_distance(self):
+        with pytest.raises(ValueError):
+            DualSlopePathLoss().loss_db(0.0)
+
+    def test_below_reference_clamps(self):
+        m = DualSlopePathLoss()
+        assert m.loss_db(0.01) == m.loss_db(m.reference_m)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DualSlopePathLoss(near_exponent=-1.0)
+        with pytest.raises(ValueError):
+            DualSlopePathLoss(breakpoint_m=0.05, reference_m=0.1)
+
+
+class TestBodyLoss:
+    def test_default_within_published_range(self):
+        """S7(b): in-body pathloss 'could be as high as 40 dB'."""
+        assert 0 < BodyLoss().loss_db <= 40.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            BodyLoss(loss_db=-5.0)

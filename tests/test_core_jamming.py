@@ -1,0 +1,85 @@
+"""Tests for shaped jamming-signal generation (S6(a), Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.jamming import ShapedJammer
+from repro.phy.spectrum import FrequencyProfile, band_power_fraction
+
+
+class TestShapedJammer:
+    def test_power_budget_respected(self, rng):
+        jammer = ShapedJammer.matched_to_fsk(50e3, 100e3, 600e3, rng=rng)
+        jam = jammer.generate(4096, power=0.01)
+        assert jam.power() == pytest.approx(0.01)
+
+    def test_jam_is_random_never_repeats(self, rng):
+        """S6: the jam acts as a one-time pad; two generations must be
+        uncorrelated."""
+        jammer = ShapedJammer.matched_to_fsk(50e3, 100e3, 600e3, rng=rng)
+        a = jammer.generate(4096)
+        b = jammer.generate(4096)
+        corr = np.abs(np.vdot(a.samples, b.samples)) / (
+            np.linalg.norm(a.samples) * np.linalg.norm(b.samples)
+        )
+        assert corr < 0.1
+
+    def test_shaped_energy_sits_on_fsk_tones(self, rng):
+        """Fig. 5: the shaped jam concentrates power where the FSK
+        receiver listens."""
+        jammer = ShapedJammer.matched_to_fsk(50e3, 100e3, 600e3, rng=rng)
+        jam = jammer.generate(16384)
+        tone_band = band_power_fraction(jam, 20e3, 80e3) + band_power_fraction(
+            jam, -80e3, -20e3
+        )
+        assert tone_band > 0.5
+
+    def test_flat_jammer_spreads_energy(self, rng):
+        jammer = ShapedJammer.flat(300e3, 600e3, rng=rng)
+        jam = jammer.generate(16384)
+        tone_band = band_power_fraction(jam, 20e3, 80e3) + band_power_fraction(
+            jam, -80e3, -20e3
+        )
+        # Two 60 kHz windows out of 300 kHz: ~40% of a flat spectrum.
+        assert tone_band < 0.55
+
+    def test_shaped_beats_flat_in_band(self, rng):
+        """The Fig. 5 comparison, quantified: shaped jamming puts more
+        power into the +/-50 kHz tone neighbourhoods at equal budget."""
+        shaped = ShapedJammer.matched_to_fsk(50e3, 100e3, 600e3, rng=rng).generate(
+            16384, power=1.0
+        )
+        flat = ShapedJammer.flat(300e3, 600e3, rng=rng).generate(16384, power=1.0)
+
+        def tones(w):
+            return band_power_fraction(w, 30e3, 70e3) + band_power_fraction(
+                w, -70e3, -30e3
+            )
+
+        assert tones(shaped) > 1.3 * tones(flat)
+
+    def test_custom_profile_followed(self, rng):
+        """The generator must follow an arbitrary measured profile."""
+        freqs = np.linspace(-300e3, 300e3, 64)
+        power = np.where(np.abs(freqs + 100e3) < 30e3, 1.0, 1e-6)
+        profile = FrequencyProfile(freqs, power)
+        jam = ShapedJammer(profile, 600e3, rng=rng).generate(8192)
+        assert band_power_fraction(jam, -140e3, -60e3) > 0.8
+
+    def test_validation(self, rng):
+        jammer = ShapedJammer.flat(300e3, 600e3, rng=rng)
+        with pytest.raises(ValueError):
+            jammer.generate(1)
+        with pytest.raises(ValueError):
+            jammer.generate(100, power=0.0)
+        with pytest.raises(ValueError):
+            ShapedJammer(FrequencyProfile.flat(8, 300e3), sample_rate=0.0)
+
+    def test_profile_outside_sample_rate_rejected(self, rng):
+        """A profile with no support inside the jammer's Nyquist band is
+        a configuration error, not silent silence."""
+        freqs = np.linspace(5e6, 6e6, 16)
+        profile = FrequencyProfile(freqs, np.ones(16))
+        jammer = ShapedJammer(profile, 600e3, rng=rng)
+        with pytest.raises(ValueError):
+            jammer.generate(1024)

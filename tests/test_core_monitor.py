@@ -1,0 +1,97 @@
+"""Tests for the waveform-level wideband monitor (S7(c))."""
+
+import numpy as np
+import pytest
+
+from repro.core.monitor import WidebandMonitor
+from repro.phy.channelizer import WidebandChannelizer
+from repro.phy.fsk import FSKConfig, FSKModulator
+from repro.phy.signal import Waveform
+from repro.protocol.commands import CommandType
+from repro.protocol.packets import Packet, PacketCodec
+
+
+@pytest.fixture
+def codec():
+    return PacketCodec()
+
+
+@pytest.fixture
+def serial():
+    return bytes(range(10))
+
+
+@pytest.fixture
+def monitor(codec, serial):
+    return WidebandMonitor(codec.identifying_sequence(serial), b_thresh=4)
+
+
+def _packet_waveform(codec, serial, rng, padding_bits=20):
+    packet = Packet(serial, CommandType.INTERROGATE, 1, b"\x00\x00\x00\x01")
+    bits = np.concatenate(
+        [rng.integers(0, 2, size=padding_bits), codec.encode(packet)]
+    )
+    return FSKModulator().modulate(bits)
+
+
+class TestWidebandMonitor:
+    def test_detects_packet_on_each_channel(self, monitor, codec, serial, rng):
+        channelizer = monitor.channelizer
+        for channel in (0, 4, 9):
+            wave = _packet_waveform(codec, serial, rng)
+            wideband = channelizer.compose({channel: wave})
+            assert monitor.matched_channels(wideband) == [channel]
+
+    def test_simultaneous_multichannel_attack_detected(
+        self, monitor, codec, serial, rng
+    ):
+        """S7(c): transmitting 'in multiple channels simultaneously to
+        try to confuse the shield' fails -- every channel is scanned."""
+        waves = {
+            ch: _packet_waveform(codec, serial, rng) for ch in (1, 5, 8)
+        }
+        wideband = monitor.channelizer.compose(waves)
+        assert monitor.matched_channels(wideband) == [1, 5, 8]
+
+    def test_foreign_traffic_not_matched(self, monitor, codec, rng):
+        other_serial = bytes(reversed(range(10)))
+        wave = _packet_waveform(codec, other_serial, rng)
+        wideband = monitor.channelizer.compose({3: wave})
+        assert monitor.matched_channels(wideband) == []
+
+    def test_match_offset_reported(self, monitor, codec, serial, rng):
+        wave = _packet_waveform(codec, serial, rng, padding_bits=32)
+        wideband = monitor.channelizer.compose({2: wave})
+        detection = next(
+            d for d in monitor.scan(wideband) if d.channel_index == 2
+        )
+        assert detection.matched
+        # The S_id begins right after the padding.
+        assert detection.match_offset_bits == pytest.approx(32, abs=2)
+
+    def test_quiet_channels_squelched(self, monitor, codec, serial, rng):
+        wave = _packet_waveform(codec, serial, rng)
+        wideband = monitor.channelizer.compose({6: wave})
+        detections = monitor.scan(wideband)
+        quiet = [d for d in detections if d.channel_index != 6]
+        assert all(not d.matched for d in quiet)
+        loud = next(d for d in detections if d.channel_index == 6)
+        assert loud.channel_power > 10 * max(d.channel_power for d in quiet)
+
+    def test_matches_despite_bit_errors(self, monitor, codec, serial, rng):
+        """Noise within b_thresh must not hide the attack."""
+        wave = _packet_waveform(codec, serial, rng)
+        wideband = monitor.channelizer.compose({7: wave})
+        noisy = wideband.with_noise(wave.power() * 0.02, rng)
+        assert 7 in monitor.matched_channels(noisy)
+
+    def test_rate_mismatch_rejected(self, codec, serial):
+        with pytest.raises(ValueError):
+            WidebandMonitor(
+                codec.identifying_sequence(serial),
+                fsk=FSKConfig(sample_rate=1.2e6, bit_rate=100e3),
+            )
+
+    def test_negative_b_thresh_rejected(self, codec, serial):
+        with pytest.raises(ValueError):
+            WidebandMonitor(codec.identifying_sequence(serial), b_thresh=-1)

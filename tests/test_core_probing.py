@@ -1,0 +1,84 @@
+"""Tests for the shield's periodic channel probing (S5)."""
+
+import pytest
+
+from repro.experiments.testbed import AttackTestbed
+
+
+class TestProbing:
+    def test_probe_cadence(self):
+        """S5: 'every 200 ms in our prototype'."""
+        bed = AttackTestbed(location_index=5, shield_present=True, seed=42)
+        bed.shield.start_probing()
+        bed.simulator.run(until=1.05)
+        assert bed.shield.probe_count == 5
+        probes = bed.air.transmissions_by("shield", kind="probe")
+        assert len(probes) == 5
+        gaps = [
+            b.start_time - a.start_time for a, b in zip(probes, probes[1:])
+        ]
+        for gap in gaps:
+            assert gap == pytest.approx(0.2, abs=1e-6)
+
+    def test_probes_are_low_power(self):
+        """S5: low power so others can spatially reuse the medium."""
+        bed = AttackTestbed(location_index=5, shield_present=True, seed=42)
+        bed.shield.start_probing()
+        bed.simulator.run(until=0.5)
+        for probe in bed.air.transmissions_by("shield", kind="probe"):
+            assert probe.tx_power_dbm <= -40.0
+
+    def test_probe_refreshes_cancellation(self):
+        bed = AttackTestbed(location_index=5, shield_present=True, seed=42)
+        bed.shield.start_probing()
+        values = set()
+        for _ in range(4):
+            bed.simulator.run(until=bed.simulator.now + 0.2001)
+            values.add(round(bed.shield.full_duplex_rejection_db, 6))
+        assert len(values) >= 3  # fresh draws, not a frozen estimate
+
+    def test_stop_probing(self):
+        bed = AttackTestbed(location_index=5, shield_present=True, seed=42)
+        bed.shield.start_probing()
+        bed.simulator.run(until=0.45)
+        count = bed.shield.probe_count
+        bed.shield.stop_probing()
+        bed.simulator.run(until=2.0)
+        assert bed.shield.probe_count == count
+
+    def test_start_probing_idempotent(self):
+        bed = AttackTestbed(location_index=5, shield_present=True, seed=42)
+        bed.shield.start_probing()
+        bed.shield.start_probing()
+        bed.simulator.run(until=0.45)
+        assert bed.shield.probe_count == 2  # not doubled
+
+    def test_probe_skipped_while_jamming(self):
+        """Probes must not interrupt an active defence."""
+        bed = AttackTestbed(location_index=1, shield_present=True, seed=42)
+        bed.shield.start_probing()
+        # Fire attacks timed to collide with every probe tick.
+        import numpy as np
+
+        for i in range(3):
+            bed.simulator.run(until=0.199 + 0.2 * i)
+            bed.attacker.send_packet(bed.interrogate_packet())
+            bed.simulator.run(until=bed.simulator.now + 0.01)
+        # Jamming happened; no probe *started* while a jam was active
+        # (a jam may begin moments after a probe started -- benign).
+        jams = bed.air.transmissions_by("shield", kind="jam")
+        probes = bed.air.transmissions_by("shield", kind="probe")
+        assert jams
+        for probe in probes:
+            for jam in jams:
+                assert not (
+                    jam.start_time <= probe.start_time
+                    and (jam.end_time is None or probe.start_time < jam.end_time)
+                )
+
+    def test_imd_ignores_probes(self):
+        bed = AttackTestbed(location_index=5, shield_present=True, seed=42)
+        bed.shield.start_probing()
+        bed.simulator.run(until=1.0)
+        assert bed.imd.transmissions == 0
+        assert bed.imd.accepted_packets == 0

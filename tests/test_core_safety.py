@@ -1,0 +1,122 @@
+"""Safety-property tests: emergency access and emergency transmissions.
+
+The paper's central safety arguments (S1, S3.1):
+
+* medical personnel regain *full* access by removing or powering off the
+  shield -- no credentials, because the IMD was never modified;
+* an IMD that detects a life-threatening condition transmits immediately
+  and unsolicited; the shield must never jam its own patient's alert.
+"""
+
+import pytest
+
+from repro.experiments.testbed import AttackTestbed, Placement
+from repro.protocol.commands import CommandType
+from repro.protocol.programmer import Programmer
+from repro.sim.radio import ProgrammerRadio
+
+
+class TestEmergencyAccess:
+    """S1: 'empowers medical personnel to access a protected IMD by
+    removing the external device or powering it off'."""
+
+    def _bed_with_er_programmer(self, seed=50):
+        bed = AttackTestbed(
+            location_index=2, shield_present=True, jam_imd_replies=True, seed=seed
+        )
+        programmer = Programmer(target_serial=bed.imd.serial, codec=bed.codec)
+        radio = ProgrammerRadio(bed.simulator, programmer, channel=0, name="er")
+        bed.links.place(Placement("er", location=bed.budget.geometry.location(2)))
+        bed.air.register(radio)
+        return bed, programmer, radio
+
+    def test_shield_blocks_even_honest_direct_access(self):
+        """By design the shield jams *any* direct communication with the
+        IMD -- including an honest programmer that skips the relay."""
+        bed, programmer, radio = self._bed_with_er_programmer()
+        radio.send_command(programmer.interrogate(), skip_lbt=True)
+        bed.simulator.run(until=0.1)
+        assert bed.imd.transmissions == 0
+
+    def test_power_off_restores_direct_access(self):
+        """An emergency-room programmer with no credentials powers the
+        shield off and talks to the IMD immediately."""
+        bed, programmer, radio = self._bed_with_er_programmer()
+        bed.shield.power_off()
+        radio.send_command(programmer.interrogate(), skip_lbt=True)
+        bed.simulator.run(until=0.1)
+        assert bed.imd.transmissions == 1
+        assert len(programmer.replies) == 1
+        assert programmer.replies[0].opcode is CommandType.TELEMETRY
+
+    def test_power_off_ends_active_jamming(self):
+        bed = AttackTestbed(location_index=1, shield_present=True, seed=51)
+        bed.attacker.send_packet(bed.interrogate_packet())
+        # Power off mid-jam.
+        bed.simulator.run(until=1.5e-3)
+        bed.shield.power_off()
+        bed.simulator.run(until=0.1)
+        for jam in bed.air.transmissions_by("shield", kind="jam"):
+            assert jam.end_time is not None
+
+    def test_power_cycle_resumes_protection(self):
+        bed = AttackTestbed(location_index=1, shield_present=True, seed=52)
+        bed.shield.power_off()
+        assert bed.attack_once(bed.interrogate_packet()).imd_responded
+        bed.shield.power_on()
+        outcome = bed.attack_once(bed.interrogate_packet())
+        assert not outcome.imd_responded
+        assert outcome.shield_jammed
+
+    def test_powered_off_shield_stays_silent(self):
+        bed = AttackTestbed(location_index=1, shield_present=True, seed=53)
+        bed.shield.start_probing()
+        bed.shield.power_off()
+        bed.attack_once(bed.interrogate_packet())
+        bed.simulator.run(until=1.0)
+        assert bed.air.transmissions_by("shield") == []
+
+
+class TestEmergencyTransmission:
+    """S3.1: unsolicited life-threatening-condition transmissions are
+    not protected -- and must not be jammed by the patient's own shield."""
+
+    def test_shield_does_not_jam_emergency_alert(self):
+        bed = AttackTestbed(
+            location_index=2, shield_present=True, jam_imd_replies=True, seed=60
+        )
+        bed.imd_radio.transmit_emergency()
+        bed.simulator.run(until=0.1)
+        assert bed.air.transmissions_by("shield", kind="jam") == []
+        # The alert reached the outside world intact (observer copy).
+        receptions = bed.observer.packets_from("imd")
+        assert len(receptions) == 1
+        assert receptions[0].bit_flips == 0
+
+    def test_emergency_alert_carries_marker_and_telemetry(self):
+        bed = AttackTestbed(location_index=2, shield_present=True, seed=61)
+        bed.imd_radio.transmit_emergency()
+        bed.simulator.run(until=0.1)
+        reception = bed.observer.packets_from("imd")[0]
+        packet = bed.codec.decode(reception.bits)
+        assert packet.opcode is CommandType.TELEMETRY
+        assert packet.payload.startswith(b"EMERGENCY")
+
+    def test_emergency_spends_battery(self):
+        bed = AttackTestbed(location_index=2, shield_present=True, seed=62)
+        before = bed.imd.battery_spent_j
+        bed.imd_radio.transmit_emergency()
+        assert bed.imd.battery_spent_j > before
+
+    def test_forged_response_frames_not_jammed_but_harmless(self):
+        """An adversary transmitting with a response opcode escapes the
+        jammer -- and accomplishes nothing, because the IMD ignores
+        response opcodes."""
+        from repro.protocol.packets import Packet
+
+        bed = AttackTestbed(location_index=1, shield_present=True, seed=63)
+        forged = Packet(bed.imd.serial, CommandType.TELEMETRY, 1, b"fake")
+        outcome = bed.attack_once(forged)
+        assert not outcome.shield_jammed
+        assert not outcome.imd_accepted
+        assert not outcome.imd_responded

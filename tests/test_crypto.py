@@ -1,0 +1,232 @@
+"""Tests for the crypto substrate: KDF, stream, AEAD, channel, pairing."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.aead import AEAD, AuthenticationError
+from repro.crypto.kdf import hkdf_sha256
+from repro.crypto.pairing import OutOfBandPairing
+from repro.crypto.secure_channel import ReplayError, SecureChannel
+from repro.crypto.stream import keystream, xor_stream
+
+
+class TestHKDF:
+    def test_deterministic(self):
+        a = hkdf_sha256(b"secret", 32, info=b"x")
+        b = hkdf_sha256(b"secret", 32, info=b"x")
+        assert a == b
+
+    def test_info_separates_keys(self):
+        a = hkdf_sha256(b"secret", 32, info=b"enc")
+        b = hkdf_sha256(b"secret", 32, info=b"auth")
+        assert a != b
+
+    def test_salt_separates_keys(self):
+        a = hkdf_sha256(b"secret", 32, salt=b"1")
+        b = hkdf_sha256(b"secret", 32, salt=b"2")
+        assert a != b
+
+    def test_rfc5869_case_1(self):
+        """RFC 5869 test vector A.1."""
+        okm = hkdf_sha256(
+            bytes.fromhex("0b" * 22),
+            42,
+            salt=bytes.fromhex("000102030405060708090a0b0c"),
+            info=bytes.fromhex("f0f1f2f3f4f5f6f7f8f9"),
+        )
+        assert okm.hex() == (
+            "3cb25f25faacd57a90434f64d0362f2a"
+            "2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_length_range(self):
+        with pytest.raises(ValueError):
+            hkdf_sha256(b"k", 0)
+        assert len(hkdf_sha256(b"k", 100)) == 100
+
+
+class TestStream:
+    def test_xor_is_involution(self):
+        data = b"private ECG telemetry"
+        once = xor_stream(data, b"key", b"nonce")
+        assert xor_stream(once, b"key", b"nonce") == data
+
+    def test_different_nonces_differ(self):
+        a = keystream(b"key", b"n1", 64)
+        b = keystream(b"key", b"n2", 64)
+        assert a != b
+
+    def test_keystream_extension_consistent(self):
+        short = keystream(b"key", b"n", 10)
+        long = keystream(b"key", b"n", 100)
+        assert long[:10] == short
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            keystream(b"", b"n", 8)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            keystream(b"k", b"n", -1)
+
+
+class TestAEAD:
+    @pytest.fixture
+    def aead(self):
+        keys = hkdf_sha256(b"root", 64)
+        return AEAD(keys[:32], keys[32:])
+
+    def test_round_trip(self, aead):
+        sealed = aead.seal(b"nonce---", b"interrogate", b"ad")
+        assert aead.open(b"nonce---", sealed, b"ad") == b"interrogate"
+
+    def test_tamper_detected(self, aead):
+        sealed = bytearray(aead.seal(b"nonce---", b"set therapy"))
+        sealed[2] ^= 0x01
+        with pytest.raises(AuthenticationError):
+            aead.open(b"nonce---", bytes(sealed))
+
+    def test_tag_tamper_detected(self, aead):
+        sealed = bytearray(aead.seal(b"nonce---", b"x"))
+        sealed[-1] ^= 0x80
+        with pytest.raises(AuthenticationError):
+            aead.open(b"nonce---", bytes(sealed))
+
+    def test_wrong_ad_detected(self, aead):
+        sealed = aead.seal(b"nonce---", b"x", b"ad-one")
+        with pytest.raises(AuthenticationError):
+            aead.open(b"nonce---", sealed, b"ad-two")
+
+    def test_wrong_nonce_detected(self, aead):
+        sealed = aead.seal(b"nonce--1", b"x")
+        with pytest.raises(AuthenticationError):
+            aead.open(b"nonce--2", sealed)
+
+    def test_short_message_rejected(self, aead):
+        with pytest.raises(AuthenticationError):
+            aead.open(b"nonce---", b"tiny")
+
+    def test_key_validation(self):
+        with pytest.raises(ValueError):
+            AEAD(b"short", b"also-short")
+        with pytest.raises(ValueError):
+            AEAD(b"k" * 32, b"k" * 32)  # identical keys
+
+
+class TestSecureChannel:
+    @pytest.fixture
+    def pair(self):
+        secret = hkdf_sha256(b"pairing", 32)
+        return SecureChannel(secret, is_shield=True), SecureChannel(
+            secret, is_shield=False
+        )
+
+    def test_bidirectional_round_trip(self, pair):
+        shield, programmer = pair
+        assert programmer.receive(shield.send(b"telemetry")) == b"telemetry"
+        assert shield.receive(programmer.send(b"command")) == b"command"
+
+    def test_replay_rejected(self, pair):
+        shield, programmer = pair
+        wire = programmer.send(b"set therapy")
+        shield.receive(wire)
+        with pytest.raises(ReplayError):
+            shield.receive(wire)
+
+    def test_tampered_wire_rejected(self, pair):
+        shield, programmer = pair
+        wire = bytearray(programmer.send(b"command"))
+        wire[10] ^= 1
+        with pytest.raises(AuthenticationError):
+            shield.receive(bytes(wire))
+
+    def test_direction_keys_differ(self, pair):
+        """A shield->programmer message must not open as
+        programmer->shield (reflection attack)."""
+        shield, programmer = pair
+        wire = shield.send(b"hello")
+        with pytest.raises(AuthenticationError):
+            shield.receive(wire)
+
+    def test_out_of_order_within_window_ok(self, pair):
+        shield, programmer = pair
+        w1 = programmer.send(b"one")
+        w2 = programmer.send(b"two")
+        assert shield.receive(w2) == b"two"
+        assert shield.receive(w1) == b"one"
+
+    def test_stale_beyond_window_rejected(self):
+        secret = hkdf_sha256(b"pairing", 32)
+        shield = SecureChannel(secret, is_shield=True, replay_window=4)
+        programmer = SecureChannel(secret, is_shield=False, replay_window=4)
+        wires = [programmer.send(bytes([i])) for i in range(10)]
+        shield.receive(wires[9])
+        with pytest.raises(ReplayError):
+            shield.receive(wires[0])
+
+    def test_forgery_does_not_burn_sequence(self, pair):
+        """A forged packet with a future sequence must not block the
+        legitimate one."""
+        shield, programmer = pair
+        real = programmer.send(b"real")
+        forged = real[:8] + bytes(len(real) - 8)
+        with pytest.raises(AuthenticationError):
+            shield.receive(forged)
+        assert shield.receive(real) == b"real"
+
+    def test_short_wire_rejected(self, pair):
+        shield, _ = pair
+        with pytest.raises(AuthenticationError):
+            shield.receive(b"abc")
+
+    def test_weak_secret_rejected(self):
+        with pytest.raises(ValueError):
+            SecureChannel(b"short", is_shield=True)
+
+
+class TestPairing:
+    def test_same_code_same_secret(self):
+        pairing = OutOfBandPairing(b"shield-01")
+        assert pairing.derive_secret("123456") == pairing.derive_secret("123456")
+
+    def test_wrong_code_different_secret(self):
+        pairing = OutOfBandPairing(b"shield-01")
+        assert pairing.derive_secret("123456") != pairing.derive_secret("123457")
+
+    def test_shield_identity_salts_secret(self):
+        a = OutOfBandPairing(b"shield-01").derive_secret("123456")
+        b = OutOfBandPairing(b"shield-02").derive_secret("123456")
+        assert a != b
+
+    def test_generate_code_format(self, rng):
+        code = OutOfBandPairing(b"s").generate_code(rng)
+        assert len(code) == 6 and code.isdigit()
+
+    def test_bad_code_rejected(self):
+        pairing = OutOfBandPairing(b"s")
+        with pytest.raises(ValueError):
+            pairing.derive_secret("12345")
+        with pytest.raises(ValueError):
+            pairing.derive_secret("abcdef")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OutOfBandPairing(b"")
+        with pytest.raises(ValueError):
+            OutOfBandPairing(b"s", code_digits=2)
+
+    def test_end_to_end_with_channel(self, rng):
+        """Pairing -> secret -> working secure channel."""
+        pairing = OutOfBandPairing(b"shield-xyz")
+        code = pairing.generate_code(rng)
+        shield = SecureChannel(pairing.derive_secret(code), is_shield=True)
+        programmer = SecureChannel(pairing.derive_secret(code), is_shield=False)
+        assert shield.receive(programmer.send(b"hello")) == b"hello"
+
+    def test_mismatched_codes_cannot_talk(self):
+        pairing = OutOfBandPairing(b"shield-xyz")
+        shield = SecureChannel(pairing.derive_secret("111111"), is_shield=True)
+        imposter = SecureChannel(pairing.derive_secret("222222"), is_shield=False)
+        with pytest.raises(AuthenticationError):
+            shield.receive(imposter.send(b"evil"))

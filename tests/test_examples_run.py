@@ -1,0 +1,39 @@
+"""Smoke tests: the fast example scripts must run end to end.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  Only the quick scripts run here (the heavier sweeps --
+passive_eavesdropper, active_attack, calibration_walkthrough -- are
+exercised through the library calls they share with the benchmarks).
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+_EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "coexistence.py",
+    "full_duplex_lab.py",
+    "clinical_session.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script, capsys, monkeypatch):
+    path = _EXAMPLES / script
+    assert path.exists(), f"example {script} is missing"
+    # Examples must not depend on argv or cwd.
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {script} printed nothing"
+
+
+def test_every_example_has_a_module_docstring():
+    for path in sorted(_EXAMPLES.glob("*.py")):
+        first = path.read_text().lstrip()
+        assert first.startswith('"""'), f"{path.name} lacks a docstring"

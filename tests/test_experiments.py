@@ -1,0 +1,183 @@
+"""Tests for metrics, reporting, testbed wiring, and the waveform lab."""
+
+import numpy as np
+import pytest
+
+from repro.channel.link_budget import LinkBudget
+from repro.experiments.metrics import empirical_cdf, success_probability, summarize
+from repro.experiments.report import ExperimentReport
+from repro.experiments.testbed import AttackTestbed, ExperimentLinkModel, Placement
+from repro.experiments.waveform_lab import (
+    PassiveLab,
+    cancellation_samples,
+    fsk_profile_peaks,
+)
+
+
+class TestMetrics:
+    def test_empirical_cdf(self):
+        values, cdf = empirical_cdf([3.0, 1.0, 2.0])
+        assert np.allclose(values, [1.0, 2.0, 3.0])
+        assert np.allclose(cdf, [1 / 3, 2 / 3, 1.0])
+
+    def test_empirical_cdf_empty(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+
+    def test_summarize(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+        assert stats.count == 3
+
+    def test_summarize_single(self):
+        assert summarize([5.0]).std == 0.0
+
+    def test_success_probability_wilson(self):
+        p, low, high = success_probability(59, 100)
+        assert p == pytest.approx(0.59)
+        assert low < 0.59 < high
+        assert high - low < 0.25
+
+    def test_success_probability_extremes(self):
+        p0, low0, _ = success_probability(0, 100)
+        p1, _, high1 = success_probability(100, 100)
+        assert p0 == 0.0 and low0 == pytest.approx(0.0, abs=1e-9)
+        assert p1 == 1.0 and high1 == pytest.approx(1.0, abs=1e-9)
+
+    def test_success_probability_validation(self):
+        with pytest.raises(ValueError):
+            success_probability(5, 0)
+        with pytest.raises(ValueError):
+            success_probability(11, 10)
+        with pytest.raises(ValueError):
+            success_probability(1, 10, confidence=0.5)
+
+
+class TestReport:
+    def test_render_contains_rows(self):
+        report = ExperimentReport("Fig. 9")
+        report.add("BER at adversary", "~0.50", "0.49")
+        out = report.render()
+        assert "Fig. 9" in out and "~0.50" in out and "0.49" in out
+
+    def test_empty_report(self):
+        assert "(no rows)" in ExperimentReport("empty").render()
+
+
+class TestLinkModelWiring:
+    @pytest.fixture
+    def links(self):
+        budget = LinkBudget()
+        model = ExperimentLinkModel(budget)
+        model.place(Placement("imd", in_phantom=True))
+        model.place(Placement("observer", in_phantom=True))
+        model.place(Placement("shield", on_body=True))
+        model.place(
+            Placement("adversary", location=budget.geometry.location(1))
+        )
+        return budget, model
+
+    def test_adversary_to_imd_includes_body(self, links):
+        budget, model = links
+        to_imd = model.link_loss_db("adversary", "imd")
+        to_shield = model.link_loss_db("adversary", "shield")
+        assert to_imd - to_shield == pytest.approx(budget.body.loss_db)
+
+    def test_in_phantom_link_small(self, links):
+        budget, model = links
+        assert model.link_loss_db("imd", "observer") == pytest.approx(10.0)
+
+    def test_shield_imd_link(self, links):
+        budget, model = links
+        expected = budget.geometry.shield_to_imd_loss_db() + budget.body.loss_db
+        assert model.link_loss_db("shield", "imd") == pytest.approx(expected)
+
+    def test_symmetry(self, links):
+        budget, model = links
+        assert model.link_loss_db("imd", "adversary") == pytest.approx(
+            model.link_loss_db("adversary", "imd")
+        )
+
+    def test_noise_floor_roles(self, links):
+        budget, model = links
+        assert model.noise_power_dbm("imd") > model.noise_power_dbm("shield")
+
+    def test_unplaced_device_is_error(self, links):
+        _, model = links
+        with pytest.raises(KeyError):
+            model.link_loss_db("ghost", "imd")
+
+    def test_placement_exactly_one_kind(self):
+        with pytest.raises(ValueError):
+            Placement("x", in_phantom=True, on_body=True)
+        with pytest.raises(ValueError):
+            Placement("x")
+
+
+class TestAttackTestbed:
+    def test_invalid_attacker_kind(self):
+        with pytest.raises(ValueError):
+            AttackTestbed(location_index=1, attacker="quantum")
+
+    def test_unshielded_attack_succeeds_nearby(self):
+        bed = AttackTestbed(location_index=1, shield_present=False, seed=0)
+        outcome = bed.attack_once(bed.interrogate_packet())
+        assert outcome.imd_responded
+
+    def test_shielded_attack_fails_nearby(self):
+        bed = AttackTestbed(location_index=1, shield_present=True, seed=0)
+        outcome = bed.attack_once(bed.interrogate_packet())
+        assert not outcome.imd_responded
+
+    def test_therapy_alternates_so_changes_observable(self):
+        bed = AttackTestbed(location_index=1, shield_present=False, seed=0)
+        first = bed.attack_once(bed.therapy_packet())
+        second = bed.attack_once(bed.therapy_packet())
+        assert first.therapy_changed and second.therapy_changed
+
+    def test_trials_runner(self):
+        bed = AttackTestbed(location_index=1, shield_present=False, seed=0)
+        outcomes = bed.run_trials(5, command="interrogate")
+        assert len(outcomes) == 5
+        assert all(o.imd_responded for o in outcomes)
+
+    def test_trials_unknown_command(self):
+        bed = AttackTestbed(location_index=1, seed=0)
+        with pytest.raises(ValueError):
+            bed.run_trials(1, command="explode")
+
+
+class TestWaveformLab:
+    def test_fsk_profile_matches_fig4(self):
+        peaks, frac = fsk_profile_peaks()
+        assert peaks[0] == pytest.approx(-50e3, abs=8e3)
+        assert peaks[1] == pytest.approx(50e3, abs=8e3)
+        assert frac > 0.6
+
+    def test_cancellation_mean_near_32(self):
+        samples = cancellation_samples(n_runs=60, jam_samples=1024)
+        assert 28.0 < float(np.mean(samples)) < 36.0
+
+    def test_trial_at_operating_point(self):
+        lab = PassiveLab(seed=3)
+        trial = lab.run_trial(jam_margin_db=20.0)
+        assert trial.eavesdropper_ber > 0.4
+        assert not trial.shield_packet_lost
+
+    def test_no_jamming_eavesdropper_reads_everything(self):
+        lab = PassiveLab(seed=4)
+        trial = lab.run_trial(jam_margin_db=-40.0)
+        assert trial.eavesdropper_ber < 0.01
+
+    def test_tradeoff_monotone_in_margin(self):
+        lab = PassiveLab(seed=5)
+        points = lab.tradeoff_sweep([0.0, 20.0], n_packets=12)
+        assert points[1].eavesdropper_ber > points[0].eavesdropper_ber
+
+    def test_ber_by_location_all_near_half(self):
+        lab = PassiveLab(seed=6)
+        out = lab.ber_by_location(n_packets=6, location_indices=(1, 9, 18))
+        for ber in out.values():
+            assert ber > 0.4

@@ -1,0 +1,71 @@
+"""Tests for the design-choice ablations."""
+
+import pytest
+
+from repro.experiments.ablation import (
+    antenna_ratio_sweep,
+    b_thresh_sweep,
+    detection_window_sweep,
+    digital_cancellation_sweep,
+)
+
+
+class TestBThreshSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return b_thresh_sweep(n_trials=300)
+
+    def test_false_negatives_fall_with_threshold(self, points):
+        fn = [p.false_negative_rate for p in points]
+        assert fn[0] > fn[-1]
+
+    def test_false_positives_stay_negligible_through_4(self, points):
+        """At the paper's b_thresh = 4, a 104-bit sequence still never
+        matches random traffic -- coexistence is safe."""
+        for p in points:
+            if p.b_thresh <= 4:
+                assert p.false_positive_rate == 0.0
+
+    def test_chosen_threshold_catches_weak_attackers(self, points):
+        at_4 = next(p for p in points if p.b_thresh == 4)
+        at_0 = next(p for p in points if p.b_thresh == 0)
+        assert at_4.false_negative_rate < at_0.false_negative_rate
+
+
+class TestDigitalCancellationSweep:
+    def test_digital_stage_earns_its_place(self):
+        losses = digital_cancellation_sweep(
+            gains_db=(0.0, 8.0), n_packets=80
+        )
+        # Antenna-only loses markedly more packets than the shipped
+        # configuration at the +20 dB operating point.
+        assert losses[0.0] > losses[8.0]
+        assert losses[8.0] < 0.05
+
+
+class TestDetectionWindowSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return detection_window_sweep()
+
+    def test_coverage_shrinks_with_window(self, points):
+        coverage = [p.jammed_fraction_of_packet for p in points]
+        assert all(a >= b for a, b in zip(coverage, coverage[1:]))
+
+    def test_full_window_never_false_matches(self, points):
+        full = next(p for p in points if p.window_bits == 104)
+        assert full.false_match_rate == 0.0
+
+    def test_full_window_still_covers_packet_tail(self, points):
+        full = next(p for p in points if p.window_bits == 104)
+        assert full.jammed_fraction_of_packet > 0.2
+
+
+class TestAntennaRatioSweep:
+    def test_cancellation_insensitive_to_placement(self):
+        """The wearability claim: across a 35 dB range of antenna
+        coupling the achieved cancellation moves by only a few dB."""
+        results = antenna_ratio_sweep(n_runs=40)
+        values = list(results.values())
+        assert max(values) - min(values) < 6.0
+        assert all(v > 25.0 for v in values)

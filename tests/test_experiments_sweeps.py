@@ -1,0 +1,54 @@
+"""Tests for the public location-sweep API."""
+
+import pytest
+
+from repro.experiments.sweeps import (
+    LocationResult,
+    attack_success_sweep,
+    highpower_sweep,
+)
+
+
+class TestAttackSuccessSweep:
+    def test_returns_all_requested_locations(self):
+        results = attack_success_sweep(
+            shield_present=False, n_trials=4, location_indices=(1, 8), seed=7
+        )
+        assert set(results) == {1, 8}
+        assert all(isinstance(r, LocationResult) for r in results.values())
+
+    def test_shielded_sweep_blocks(self):
+        results = attack_success_sweep(
+            shield_present=True, n_trials=6, location_indices=(1, 3), seed=7
+        )
+        assert all(r.success_probability == 0.0 for r in results.values())
+
+    def test_unshielded_nearby_succeeds(self):
+        results = attack_success_sweep(
+            shield_present=False, n_trials=6, location_indices=(1,), seed=7
+        )
+        assert results[1].success_probability == 1.0
+
+    def test_therapy_command_supported(self):
+        results = attack_success_sweep(
+            shield_present=False,
+            n_trials=4,
+            command="therapy",
+            location_indices=(2,),
+            seed=7,
+        )
+        assert results[2].success_probability == 1.0
+
+    def test_wilson_interval_brackets_estimate(self):
+        results = attack_success_sweep(
+            shield_present=False, n_trials=10, location_indices=(8,), seed=7
+        )
+        r = results[8]
+        low, high = r.wilson_interval()
+        assert low <= r.success_probability <= high
+
+    def test_highpower_sweep_alarms_near(self):
+        results = highpower_sweep(
+            shield_present=True, n_trials=6, location_indices=(1,), seed=7
+        )
+        assert results[1].alarm_probability == 1.0

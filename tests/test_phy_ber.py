@@ -1,0 +1,99 @@
+"""Tests for the analytic error-rate models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.phy.ber import (
+    ber_to_packet_error_rate,
+    coherent_fsk_ber,
+    flip_bits,
+    noncoherent_fsk_ber,
+    sample_bit_errors,
+    sinr_linear,
+)
+
+
+class TestNoncoherentBER:
+    def test_known_value_at_10db(self):
+        # 0.5 exp(-10/2) with SNR linear = 10.
+        assert noncoherent_fsk_ber(10.0) == pytest.approx(0.5 * math.exp(-5.0))
+
+    def test_saturates_at_half(self):
+        assert noncoherent_fsk_ber(-60.0) == pytest.approx(0.5, abs=1e-3)
+
+    def test_monotone_decreasing(self):
+        values = [noncoherent_fsk_ber(s) for s in range(-10, 30, 2)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_negligible_at_high_snr(self):
+        assert noncoherent_fsk_ber(25.0) < 1e-60
+
+
+class TestCoherentBER:
+    def test_coherent_beats_noncoherent(self):
+        for snr in [0.0, 5.0, 10.0, 15.0]:
+            assert coherent_fsk_ber(snr) < noncoherent_fsk_ber(snr)
+
+    def test_half_at_no_signal(self):
+        assert coherent_fsk_ber(-80.0) == pytest.approx(0.5, abs=1e-3)
+
+
+class TestPacketErrorRate:
+    def test_zero_ber_means_zero_per(self):
+        assert ber_to_packet_error_rate(0.0, 1000) == 0.0
+
+    def test_one_bit_packet(self):
+        assert ber_to_packet_error_rate(0.1, 1) == pytest.approx(0.1)
+
+    def test_matches_complement_product(self):
+        assert ber_to_packet_error_rate(1e-3, 200) == pytest.approx(
+            1 - (1 - 1e-3) ** 200
+        )
+
+    def test_rejects_invalid_ber(self):
+        with pytest.raises(ValueError):
+            ber_to_packet_error_rate(1.5, 10)
+
+    def test_rejects_negative_bits(self):
+        with pytest.raises(ValueError):
+            ber_to_packet_error_rate(0.1, -1)
+
+    def test_zero_bits_never_errors(self):
+        assert ber_to_packet_error_rate(0.5, 0) == 0.0
+
+
+class TestSinr:
+    def test_basic(self):
+        assert sinr_linear(10.0, 4.0, 1.0) == pytest.approx(2.0)
+
+    def test_infinite_when_clean(self):
+        assert sinr_linear(1.0, 0.0, 0.0) == math.inf
+
+
+class TestSampling:
+    def test_sample_rate_statistics(self, rng):
+        mask = sample_bit_errors(0.25, 100_000, rng)
+        assert mask.mean() == pytest.approx(0.25, abs=0.01)
+
+    def test_zero_rate_is_all_false(self, rng):
+        assert not sample_bit_errors(0.0, 1000, rng).any()
+
+    def test_rejects_bad_rate(self, rng):
+        with pytest.raises(ValueError):
+            sample_bit_errors(-0.1, 10, rng)
+
+    def test_flip_bits_preserves_length_and_alphabet(self, rng):
+        bits = rng.integers(0, 2, size=500)
+        flipped = flip_bits(bits, 0.5, rng)
+        assert flipped.shape == bits.shape
+        assert set(np.unique(flipped)) <= {0, 1}
+
+    def test_flip_bits_zero_rate_identity(self, rng):
+        bits = rng.integers(0, 2, size=64)
+        assert np.array_equal(flip_bits(bits, 0.0, rng), bits)
+
+    def test_flip_bits_certain_rate_inverts(self, rng):
+        bits = rng.integers(0, 2, size=64)
+        assert np.array_equal(flip_bits(bits, 1.0, rng), 1 - bits)

@@ -1,0 +1,185 @@
+"""Tests for the wideband channelizer (S7(c)) and equalizer (S5 fn. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.phy.channelizer import WidebandChannelizer
+from repro.phy.equalizer import (
+    FIREqualizer,
+    apply_fir,
+    estimate_multipath_channel,
+    mmse_equalizer,
+    zero_forcing_equalizer,
+)
+from repro.phy.fsk import FSKModulator, NoncoherentFSKDemodulator
+from repro.phy.signal import Waveform
+
+
+class TestChannelizer:
+    @pytest.fixture
+    def channelizer(self):
+        return WidebandChannelizer()
+
+    def test_ten_channels_default(self, channelizer):
+        assert channelizer.band.n_channels == 10
+        assert channelizer.decimation == 10
+
+    def test_compose_extract_round_trip(self, channelizer, rng):
+        """A packet placed on channel 3 comes back out of channel 3."""
+        bits = rng.integers(0, 2, size=120)
+        narrow = FSKModulator().modulate(bits)
+        wideband = channelizer.compose({3: narrow})
+        recovered = channelizer.extract(wideband, 3)
+        decoded = NoncoherentFSKDemodulator().demodulate(recovered, n_bits=len(bits))
+        assert np.mean(decoded != bits) < 0.02
+
+    def test_adjacent_channel_isolation(self, channelizer, rng):
+        """Energy on channel 3 must not leak into channels 2 or 4."""
+        bits = rng.integers(0, 2, size=200)
+        narrow = FSKModulator().modulate(bits)
+        wideband = channelizer.compose({3: narrow})
+        on_channel = channelizer.extract(wideband, 3).power()
+        for neighbour in (2, 4):
+            leak = channelizer.extract(wideband, neighbour).power()
+            assert leak < on_channel / 100.0
+
+    def test_simultaneous_channels_all_recovered(self, channelizer, rng):
+        """S7(c): an adversary transmitting on several channels at once
+        is still visible on each of them."""
+        packets = {}
+        for ch in (0, 5, 9):
+            bits = rng.integers(0, 2, size=100)
+            packets[ch] = (bits, FSKModulator().modulate(bits))
+        wideband = channelizer.compose({ch: w for ch, (b, w) in packets.items()})
+        for ch, (bits, _) in packets.items():
+            recovered = channelizer.extract(wideband, ch)
+            decoded = NoncoherentFSKDemodulator().demodulate(
+                recovered, n_bits=len(bits)
+            )
+            assert np.mean(decoded != bits) < 0.05, f"channel {ch}"
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            WidebandChannelizer(wideband_rate=1e6)
+        with pytest.raises(ValueError):
+            WidebandChannelizer(wideband_rate=6.1e6)
+
+    def test_extract_rejects_wrong_rate(self, channelizer):
+        with pytest.raises(ValueError):
+            channelizer.extract(Waveform(np.ones(100), 1e6), 0)
+
+    def test_compose_rejects_wrong_rate(self, channelizer):
+        with pytest.raises(ValueError):
+            channelizer.compose({0: Waveform(np.ones(100), 1e6)})
+
+    def test_compose_empty_rejected(self, channelizer):
+        with pytest.raises(ValueError):
+            channelizer.compose({})
+
+
+class TestEqualizer:
+    def test_channel_estimation_recovers_taps(self, rng):
+        probe = Waveform(
+            rng.standard_normal(2048) + 1j * rng.standard_normal(2048), 600e3
+        )
+        true_taps = np.array([1.0, 0.4 - 0.2j, -0.1j])
+        received = Waveform(
+            np.convolve(probe.samples, true_taps)[: len(probe)], 600e3
+        )
+        estimate = estimate_multipath_channel(probe, received, n_taps=3)
+        assert np.allclose(estimate, true_taps, atol=1e-6)
+
+    def test_estimation_with_noise_close(self, rng):
+        probe = Waveform(
+            rng.standard_normal(4096) + 1j * rng.standard_normal(4096), 600e3
+        )
+        true_taps = np.array([1.0, 0.3, 0.1])
+        rx = np.convolve(probe.samples, true_taps)[: len(probe)]
+        received = Waveform(rx, 600e3).with_noise(0.01, rng)
+        estimate = estimate_multipath_channel(probe, received, n_taps=3)
+        assert np.allclose(estimate, true_taps, atol=0.05)
+
+    def test_zero_forcing_inverts_channel(self, rng):
+        taps = np.array([1.0, 0.5, 0.2])
+        eq = zero_forcing_equalizer(taps, n_taps=48)
+        cascade = np.convolve(taps, eq.taps)
+        # The cascade should be ~ a unit impulse at the design delay.
+        assert abs(cascade[eq.delay] - 1.0) < 1e-3
+        off_peak = np.delete(np.abs(cascade), eq.delay)
+        assert np.max(off_peak) < 0.01
+
+    def test_mmse_handles_nulls(self):
+        # This channel has a spectral null at Nyquist; ZF must refuse,
+        # MMSE must cope.
+        taps = np.array([1.0, 1.0])
+        with pytest.raises(ValueError):
+            zero_forcing_equalizer(taps)
+        eq = mmse_equalizer(taps, noise_to_signal=0.1)
+        assert np.all(np.isfinite(eq.taps))
+
+    def test_equalized_fsk_decodes(self, rng):
+        """End-to-end: multipath breaks FSK decoding, the equaliser
+        restores it -- the footnote-2 alternative to OFDM."""
+        bits = rng.integers(0, 2, size=600)
+        clean = FSKModulator().modulate(bits)
+        # A deep in-band notch: enough ISI to break the envelope detector.
+        channel = np.array([1.0, -0.85, 0.0, 0.5j])
+        distorted = Waveform(
+            np.convolve(clean.samples, channel)[: len(clean)], 600e3
+        )
+        demod = NoncoherentFSKDemodulator()
+        raw_ber = np.mean(demod.demodulate(distorted, n_bits=len(bits)) != bits)
+        eq = mmse_equalizer(channel, noise_to_signal=1e-3, n_taps=96)
+        fixed = eq.apply(distorted)
+        eq_ber = np.mean(demod.demodulate(fixed, n_bits=len(bits)) != bits)
+        assert raw_ber > 0.1  # the channel genuinely breaks decoding
+        assert eq_ber < raw_ber / 4
+        assert eq_ber < 0.03
+
+    def test_equalizer_apply_preserves_alignment(self, rng):
+        """apply() must hand back a signal aligned with the original."""
+        bits = rng.integers(0, 2, size=200)
+        clean = FSKModulator().modulate(bits)
+        channel = np.array([1.0, 0.3 + 0.2j])
+        distorted = Waveform(
+            np.convolve(clean.samples, channel)[: len(clean)], 600e3
+        )
+        eq = zero_forcing_equalizer(channel, n_taps=64)
+        fixed = eq.apply(distorted)
+        assert len(fixed) == len(clean)
+        decoded = NoncoherentFSKDemodulator().demodulate(fixed, n_bits=len(bits))
+        assert np.mean(decoded != bits) < 0.02
+
+    def test_estimate_then_equalize(self, rng):
+        """The full footnote-2 loop: estimate the channel from a probe,
+        build the equaliser from the *estimate*, decode."""
+        probe = Waveform(
+            rng.standard_normal(4096) + 1j * rng.standard_normal(4096), 600e3
+        )
+        channel = np.array([1.0, -0.7, 0.3j])
+        probe_rx = Waveform(
+            np.convolve(probe.samples, channel)[: len(probe)], 600e3
+        ).with_noise(1e-3, rng)
+        estimate = estimate_multipath_channel(probe, probe_rx, n_taps=3)
+        bits = rng.integers(0, 2, size=400)
+        clean = FSKModulator().modulate(bits)
+        distorted = Waveform(
+            np.convolve(clean.samples, channel)[: len(clean)], 600e3
+        )
+        eq = mmse_equalizer(estimate, noise_to_signal=1e-3, n_taps=96)
+        fixed = eq.apply(distorted)
+        decoded = NoncoherentFSKDemodulator().demodulate(fixed, n_bits=len(bits))
+        assert np.mean(decoded != bits) < 0.03
+
+    def test_validation(self, rng):
+        probe = Waveform(np.ones(16), 600e3)
+        with pytest.raises(ValueError):
+            estimate_multipath_channel(probe, probe, n_taps=0)
+        with pytest.raises(ValueError):
+            estimate_multipath_channel(probe, probe, n_taps=8)
+        with pytest.raises(ValueError):
+            zero_forcing_equalizer(np.array([]))
+        with pytest.raises(ValueError):
+            mmse_equalizer(np.array([1.0]), noise_to_signal=-1.0)
+        with pytest.raises(ValueError):
+            FIREqualizer(np.ones(4), delay=9)

@@ -1,0 +1,105 @@
+"""Tests for S_id matching and preamble correlation (S7 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.phy.fsk import FSKModulator
+from repro.phy.preamble import (
+    DEFAULT_PREAMBLE_BITS,
+    IdentifyingSequence,
+    correlate_preamble,
+    hamming_distance,
+    sliding_sequence_match,
+)
+
+
+class TestHammingDistance:
+    def test_identical(self):
+        assert hamming_distance([1, 0, 1], [1, 0, 1]) == 0
+
+    def test_counts_differences(self):
+        assert hamming_distance([1, 1, 1, 1], [0, 1, 0, 1]) == 2
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            hamming_distance([1, 0], [1])
+
+
+class TestIdentifyingSequence:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            IdentifyingSequence(np.array([], dtype=int))
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            IdentifyingSequence(np.array([0, 1, 2]))
+
+    def test_exact_match(self):
+        seq = IdentifyingSequence(np.array([1, 0, 1, 1, 0, 0, 1, 0]))
+        assert seq.matches(seq.bits, b_thresh=0)
+
+    def test_tolerates_up_to_b_thresh_flips(self, rng):
+        bits = rng.integers(0, 2, size=104)
+        seq = IdentifyingSequence(bits)
+        corrupted = bits.copy()
+        corrupted[[3, 40, 77, 100]] ^= 1  # exactly 4 flips
+        assert seq.matches(corrupted, b_thresh=4)
+        assert not seq.matches(corrupted, b_thresh=3)
+
+    def test_longer_candidate_uses_prefix(self, rng):
+        bits = rng.integers(0, 2, size=32)
+        seq = IdentifyingSequence(bits)
+        extended = np.concatenate([bits, rng.integers(0, 2, size=16)])
+        assert seq.matches(extended, b_thresh=0)
+
+    def test_short_candidate_never_matches(self):
+        seq = IdentifyingSequence(np.ones(16, dtype=int))
+        assert not seq.matches(np.ones(8, dtype=int), b_thresh=16)
+
+
+class TestSlidingMatch:
+    def test_finds_offset(self, rng):
+        sid_bits = rng.integers(0, 2, size=40)
+        seq = IdentifyingSequence(sid_bits)
+        stream = np.concatenate(
+            [rng.integers(0, 2, size=17), sid_bits, rng.integers(0, 2, size=9)]
+        )
+        # A random 17-bit prefix could accidentally match; require the
+        # found offset to be at most the planted one.
+        offset = sliding_sequence_match(stream, seq, b_thresh=0)
+        assert offset == 17
+
+    def test_none_when_absent(self, rng):
+        seq = IdentifyingSequence(np.ones(32, dtype=int))
+        stream = np.zeros(100, dtype=int)
+        assert sliding_sequence_match(stream, seq, b_thresh=3) is None
+
+    def test_none_when_stream_short(self):
+        seq = IdentifyingSequence(np.ones(32, dtype=int))
+        assert sliding_sequence_match(np.ones(10, dtype=int), seq, 0) is None
+
+    def test_tolerance(self, rng):
+        sid_bits = rng.integers(0, 2, size=40)
+        seq = IdentifyingSequence(sid_bits)
+        noisy = sid_bits.copy()
+        noisy[5] ^= 1
+        assert sliding_sequence_match(noisy, seq, b_thresh=1) == 0
+        assert sliding_sequence_match(noisy, seq, b_thresh=0) is None
+
+
+class TestPreambleCorrelation:
+    def test_locates_preamble(self, rng):
+        mod = FSKModulator()
+        payload = mod.modulate(rng.integers(0, 2, size=64))
+        preamble = mod.modulate(DEFAULT_PREAMBLE_BITS)
+        stream = preamble.delayed(123)
+        stream = stream.padded_to(len(stream) + len(payload))
+        offset, peak = correlate_preamble(stream)
+        assert offset == 123
+        assert peak > 0.9
+
+    def test_rejects_short_waveform(self):
+        from repro.phy.signal import Waveform
+
+        with pytest.raises(ValueError):
+            correlate_preamble(Waveform(np.ones(4), 600e3))

@@ -1,0 +1,97 @@
+"""Tests for PSD estimation and frequency profiles (Fig. 4 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.phy.fsk import FSKModulator
+from repro.phy.signal import Waveform
+from repro.phy.spectrum import (
+    FrequencyProfile,
+    band_power_fraction,
+    estimate_frequency_profile,
+    power_spectral_density,
+)
+
+
+def _tone(freq_hz: float, n: int = 4096, fs: float = 600e3) -> Waveform:
+    t = np.arange(n) / fs
+    return Waveform(np.exp(2j * np.pi * freq_hz * t), fs)
+
+
+class TestPSD:
+    def test_tone_peak_location(self):
+        freqs, psd = power_spectral_density(_tone(50e3))
+        assert freqs[np.argmax(psd)] == pytest.approx(50e3, abs=3e3)
+
+    def test_negative_tone_peak(self):
+        freqs, psd = power_spectral_density(_tone(-100e3))
+        assert freqs[np.argmax(psd)] == pytest.approx(-100e3, abs=3e3)
+
+    def test_frequencies_sorted(self):
+        freqs, _ = power_spectral_density(_tone(10e3))
+        assert np.all(np.diff(freqs) > 0)
+
+    def test_short_waveform_handled(self):
+        freqs, psd = power_spectral_density(Waveform(np.ones(16), 1e6), n_fft=256)
+        assert len(freqs) == len(psd)
+
+
+class TestFrequencyProfile:
+    def test_normalisation(self):
+        p = FrequencyProfile(np.array([-1.0, 0.0, 1.0]), np.array([1.0, 2.0, 1.0]))
+        assert p.relative_power.sum() == pytest.approx(1.0)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            FrequencyProfile(np.array([0.0, 1.0]), np.array([1.0, -0.5]))
+
+    def test_rejects_zero_power(self):
+        with pytest.raises(ValueError):
+            FrequencyProfile(np.array([0.0]), np.array([0.0]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            FrequencyProfile(np.array([0.0, 1.0]), np.array([1.0]))
+
+    def test_peak_frequencies_of_fsk_profile(self):
+        p = FrequencyProfile.two_tone_fsk(50e3, 100e3, 128, 600e3)
+        peaks = p.peak_frequencies(2)
+        assert peaks[0] == pytest.approx(-50e3, abs=6e3)
+        assert peaks[1] == pytest.approx(50e3, abs=6e3)
+
+    def test_power_in_band(self):
+        p = FrequencyProfile.two_tone_fsk(50e3, 100e3, 256, 600e3)
+        # Main lobes span +/- one bit rate around each tone.
+        tones = p.power_in_band(-150e3, -20e3) + p.power_in_band(20e3, 150e3)
+        assert tones > 0.75
+
+    def test_power_in_band_rejects_inverted(self):
+        p = FrequencyProfile.flat(8, 300e3)
+        with pytest.raises(ValueError):
+            p.power_in_band(10.0, -10.0)
+
+    def test_flat_profile_uniform(self):
+        p = FrequencyProfile.flat(10, 300e3)
+        assert np.allclose(p.relative_power, 0.1)
+
+    def test_peak_count_validation(self):
+        p = FrequencyProfile.flat(4, 300e3)
+        with pytest.raises(ValueError):
+            p.peak_frequencies(0)
+
+
+class TestEstimation:
+    def test_fig4_fsk_energy_concentrates_at_tones(self, rng):
+        """Fig. 4: 'most of the energy is concentrated around +/-50 KHz'."""
+        bits = rng.integers(0, 2, size=4000)
+        w = FSKModulator().modulate(bits)
+        profile = estimate_frequency_profile(w, n_bins=128)
+        peaks = profile.peak_frequencies(2)
+        assert peaks[0] == pytest.approx(-50e3, abs=8e3)
+        assert peaks[1] == pytest.approx(50e3, abs=8e3)
+
+    def test_band_power_fraction_bounds(self, rng):
+        bits = rng.integers(0, 2, size=1000)
+        w = FSKModulator().modulate(bits)
+        frac = band_power_fraction(w, -150e3, 150e3)
+        assert 0.9 < frac <= 1.0

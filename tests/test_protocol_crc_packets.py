@@ -1,0 +1,163 @@
+"""Tests for CRC-16 and the packet codec."""
+
+import numpy as np
+import pytest
+
+from repro.phy.preamble import DEFAULT_PREAMBLE_BITS
+from repro.protocol.commands import CommandType
+from repro.protocol.crc import (
+    bits_to_bytes,
+    bytes_to_bits,
+    crc16_bits,
+    crc16_ccitt,
+    crc16_check,
+)
+from repro.protocol.packets import DecodeError, Packet, PacketCodec, SERIAL_LENGTH
+
+
+class TestCRC16:
+    def test_known_vector(self):
+        """CRC-16/CCITT-FALSE of '123456789' is 0x29B1."""
+        assert crc16_ccitt(b"123456789") == 0x29B1
+
+    def test_empty_is_init(self):
+        assert crc16_ccitt(b"") == 0xFFFF
+
+    def test_check_round_trip(self):
+        data = b"heartbeat telemetry"
+        assert crc16_check(data, crc16_ccitt(data))
+
+    def test_single_bit_flip_detected(self):
+        data = bytearray(b"therapy parameters")
+        crc = crc16_ccitt(bytes(data))
+        data[3] ^= 0x10
+        assert not crc16_check(bytes(data), crc)
+
+    def test_bit_level_matches_byte_level(self):
+        data = b"\x01\x02\xff\x80"
+        assert crc16_bits(bytes_to_bits(data)) == crc16_ccitt(data)
+
+
+class TestBitPacking:
+    def test_round_trip(self):
+        data = bytes(range(256))
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_msb_first(self):
+        bits = bytes_to_bits(b"\x80")
+        assert list(bits) == [1, 0, 0, 0, 0, 0, 0, 0]
+
+    def test_empty(self):
+        assert len(bytes_to_bits(b"")) == 0
+        assert bits_to_bytes(np.zeros(0, dtype=int)) == b""
+
+    def test_rejects_partial_byte(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes(np.ones(7, dtype=int))
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes(np.full(8, 2))
+
+
+class TestPacket:
+    def test_serial_length_enforced(self):
+        with pytest.raises(ValueError):
+            Packet(b"short", CommandType.INTERROGATE, 1)
+
+    def test_sequence_range(self, serial):
+        with pytest.raises(ValueError):
+            Packet(serial, CommandType.INTERROGATE, 300)
+
+    def test_payload_cap(self, serial):
+        with pytest.raises(ValueError):
+            Packet(serial, CommandType.TELEMETRY, 1, payload=bytes(300))
+
+    def test_opcode_coercion(self, serial):
+        p = Packet(serial, 0x10, 1)
+        assert p.opcode is CommandType.INTERROGATE
+
+
+class TestCodec:
+    def test_encode_decode_round_trip(self, codec, serial):
+        packet = Packet(serial, CommandType.SET_THERAPY, 42, payload=b"abcdef")
+        assert codec.decode(codec.encode(packet)) == packet
+
+    def test_round_trip_empty_payload(self, codec, serial):
+        packet = Packet(serial, CommandType.SESSION_OPEN, 0)
+        assert codec.decode(codec.encode(packet)) == packet
+
+    def test_round_trip_max_payload(self, codec, serial):
+        packet = Packet(serial, CommandType.TELEMETRY, 9, payload=bytes(255))
+        assert codec.decode(codec.encode(packet)) == packet
+
+    def test_encoded_length_matches_n_bits(self, codec, serial):
+        packet = Packet(serial, CommandType.INTERROGATE, 7, payload=b"1234")
+        assert len(codec.encode(packet)) == codec.n_bits(packet)
+
+    def test_starts_with_preamble(self, codec, serial):
+        bits = codec.encode(Packet(serial, CommandType.ACK, 1))
+        assert np.array_equal(bits[: len(DEFAULT_PREAMBLE_BITS)], DEFAULT_PREAMBLE_BITS)
+
+    def test_any_single_bit_flip_breaks_crc(self, codec, serial, rng):
+        """The checksum assumption of S3.1: any corrupted field kills the
+        packet.  (Flips inside the preamble only affect sync, tested
+        separately.)"""
+        packet = Packet(serial, CommandType.SET_THERAPY, 3, payload=b"xy")
+        bits = codec.encode(packet)
+        n_pre = len(DEFAULT_PREAMBLE_BITS)
+        for _ in range(40):
+            corrupted = bits.copy()
+            position = rng.integers(n_pre, len(bits))
+            corrupted[position] ^= 1
+            with pytest.raises(DecodeError):
+                codec.decode(corrupted)
+
+    def test_truncated_rejected(self, codec, serial):
+        bits = codec.encode(Packet(serial, CommandType.INTERROGATE, 1))
+        with pytest.raises(DecodeError):
+            codec.decode(bits[:50])
+
+    def test_bad_sync_rejected(self, codec, serial):
+        bits = codec.encode(Packet(serial, CommandType.INTERROGATE, 1))
+        bits[len(DEFAULT_PREAMBLE_BITS)] ^= 1
+        with pytest.raises(DecodeError):
+            codec.decode(bits)
+
+    def test_unknown_opcode_rejected(self, codec, serial):
+        packet = Packet(serial, CommandType.INTERROGATE, 1)
+        raw = codec.encode(packet)
+        # Surgically rewrite the opcode byte and fix the CRC so only the
+        # opcode check can fail.
+        from repro.protocol.crc import bits_to_bytes, bytes_to_bits, crc16_ccitt
+
+        frame = bytearray(bits_to_bytes(raw[16:]))
+        frame[1 + SERIAL_LENGTH] = 0x77  # not a CommandType
+        body = bytes(frame[1 : 4 + SERIAL_LENGTH])
+        crc = crc16_ccitt(body)
+        frame[-2:] = crc.to_bytes(2, "big")
+        rebuilt = np.concatenate([raw[:16], bytes_to_bits(bytes(frame))])
+        with pytest.raises(DecodeError):
+            codec.decode(rebuilt)
+
+    def test_identifying_sequence_is_104_bits(self, codec, serial):
+        """S7(a): preamble + sync + 10-byte serial."""
+        sid = codec.identifying_sequence(serial)
+        assert len(sid) == 104
+        assert codec.header_bit_count() == 104
+
+    def test_identifying_sequence_prefixes_every_packet(self, codec, serial):
+        sid = codec.identifying_sequence(serial)
+        for opcode in (CommandType.INTERROGATE, CommandType.TELEMETRY):
+            bits = codec.encode(Packet(serial, opcode, 5, payload=b"zz"))
+            assert sid.matches(bits, b_thresh=0)
+
+    def test_different_serial_distinct_sid(self, codec, serial):
+        other = bytes(reversed(range(10)))
+        sid = codec.identifying_sequence(serial)
+        bits = codec.encode(Packet(other, CommandType.INTERROGATE, 1))
+        assert not sid.matches(bits, b_thresh=4)
+
+    def test_sid_serial_length_checked(self, codec):
+        with pytest.raises(ValueError):
+            codec.identifying_sequence(b"abc")

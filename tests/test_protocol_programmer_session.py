@@ -1,0 +1,118 @@
+"""Tests for the programmer model and session state machine."""
+
+import pytest
+
+from repro.protocol.commands import CommandType, TherapySettings
+from repro.protocol.imd import IMDevice
+from repro.protocol.packets import Packet
+from repro.protocol.programmer import Programmer
+from repro.protocol.session import Session, SessionState
+
+
+@pytest.fixture
+def programmer(serial) -> Programmer:
+    return Programmer(target_serial=serial)
+
+
+class TestProgrammer:
+    def test_fcc_power_enforced(self, serial):
+        with pytest.raises(ValueError):
+            Programmer(target_serial=serial, tx_power_dbm=-10.0)
+
+    def test_command_builders_target_imd(self, programmer, serial):
+        for packet in (
+            programmer.open_session(),
+            programmer.interrogate(),
+            programmer.set_therapy(TherapySettings()),
+            programmer.close_session(),
+        ):
+            assert packet.serial == serial
+
+    def test_sequence_increments(self, programmer):
+        a = programmer.interrogate()
+        b = programmer.interrogate()
+        assert b.sequence == (a.sequence + 1) % 256
+
+    def test_lbt_duration_is_10ms(self, programmer):
+        assert programmer.listen_before_talk_s() == pytest.approx(0.010)
+
+    def test_full_exchange_with_imd(self, programmer, serial):
+        """Programmer command -> IMD reply -> programmer parses it."""
+        imd = IMDevice(serial)
+        command = programmer.interrogate()
+        reply, _ = imd.handle_packet(command)
+        parsed = programmer.handle_packet(reply)
+        assert parsed is not None
+        assert parsed.opcode is CommandType.TELEMETRY
+        assert programmer.replies == [reply]
+
+    def test_ignores_other_devices(self, programmer):
+        other = bytes(reversed(range(10)))
+        stray = Packet(other, CommandType.TELEMETRY, 1, b"x")
+        assert programmer.handle_packet(stray) is None
+
+    def test_ignores_commands(self, programmer, serial):
+        """Only IMD->programmer opcodes count as replies."""
+        echo = Packet(serial, CommandType.INTERROGATE, 1)
+        assert programmer.handle_packet(echo) is None
+
+    def test_handle_garbage_bits(self, programmer, rng):
+        assert programmer.handle_bits(rng.integers(0, 2, size=200)) is None
+
+
+class TestSession:
+    def test_lifecycle(self):
+        s = Session()
+        s.start_listening()
+        s.activate(channel_index=3)
+        assert s.state is SessionState.ACTIVE
+        assert s.channel_index == 3
+        s.record_command()
+        s.record_reply()
+        s.close()
+        assert s.state is SessionState.CLOSED
+        assert s.channel_index is None
+
+    def test_cannot_activate_without_listening(self):
+        with pytest.raises(RuntimeError):
+            Session().activate(0)
+
+    def test_cannot_listen_while_active(self):
+        s = Session()
+        s.start_listening()
+        s.activate(0)
+        with pytest.raises(RuntimeError):
+            s.start_listening()
+
+    def test_persistent_interference_abandons_channel(self):
+        """S2: pairs leave a channel on persistent interference."""
+        s = Session(interference_limit=3)
+        s.start_listening()
+        s.activate(5)
+        assert not s.record_interference()
+        assert not s.record_interference()
+        assert s.record_interference()
+        assert s.state is SessionState.IDLE
+        assert s.channel_index is None
+
+    def test_reply_resets_interference_count(self):
+        s = Session(interference_limit=2)
+        s.start_listening()
+        s.activate(1)
+        s.record_interference()
+        s.record_reply()
+        assert not s.record_interference()
+
+    def test_counters(self):
+        s = Session()
+        s.start_listening()
+        s.activate(0)
+        s.record_command()
+        s.record_command()
+        s.record_reply()
+        assert s.commands_sent == 2
+        assert s.replies_received == 1
+
+    def test_inactive_operations_rejected(self):
+        with pytest.raises(RuntimeError):
+            Session().record_command()

@@ -1,0 +1,106 @@
+"""Tests for the relayed clinical-session workflow."""
+
+import pytest
+
+from repro.core.relay import ProgrammerLink, ShieldRelay
+from repro.crypto.pairing import OutOfBandPairing
+from repro.experiments.testbed import AttackTestbed
+from repro.protocol.commands import CommandType, TherapySettings
+from repro.protocol.session import SessionState
+from repro.protocol.workflow import RelayedSessionWorkflow
+
+
+@pytest.fixture
+def workflow():
+    secret = OutOfBandPairing(b"shield-w").derive_secret("424242")
+    bed = AttackTestbed(
+        location_index=1, shield_present=True, jam_imd_replies=True, seed=77
+    )
+    bed.shield.relay = ShieldRelay(secret, bed.codec)
+    link = ProgrammerLink(secret, bed.codec)
+    return bed, RelayedSessionWorkflow(
+        bed.simulator, bed.shield, link, target_serial=bed.imd.serial
+    )
+
+
+class TestRelayedSession:
+    def test_full_checkup(self, workflow):
+        """Open, interrogate twice, modify therapy, close -- all relayed
+        and all protected by the reply-window jamming."""
+        bed, flow = workflow
+        flow.open()
+        flow.interrogate()
+        flow.interrogate()
+        flow.set_therapy(TherapySettings(pacing_rate_bpm=75))
+        outcome = flow.close()
+
+        assert outcome.commands_sent == 5
+        assert len(outcome.telemetry_records) == 2
+        # ACKs: open, set-therapy, close.
+        assert sorted(outcome.acks) == sorted(
+            [
+                int(CommandType.SESSION_OPEN),
+                int(CommandType.SET_THERAPY),
+                int(CommandType.SESSION_CLOSE),
+            ]
+        )
+        assert bed.imd.therapy.pacing_rate_bpm == 75
+        assert flow.session.state is SessionState.CLOSED
+
+    def test_session_records_counts(self, workflow):
+        bed, flow = workflow
+        flow.open()
+        flow.interrogate()
+        assert flow.session.commands_sent == 2
+        assert flow.session.replies_received == 2
+
+    def test_every_reply_was_jammed_on_air(self, workflow):
+        """Each IMD reply must be covered by a reply-window jam."""
+        bed, flow = workflow
+        flow.open()
+        flow.interrogate()
+        flow.close()
+        replies = bed.air.transmissions_by("imd")
+        jams = [
+            t
+            for t in bed.air.transmissions_by("shield", kind="jam")
+            if t.meta.get("reason") == "reply-window"
+        ]
+        assert len(replies) == 3
+        for reply in replies:
+            assert any(
+                j.start_time <= reply.start_time and j.end_time >= reply.end_time
+                for j in jams
+            ), "an IMD reply escaped the jam window"
+
+    def test_commands_before_open_rejected(self, workflow):
+        _, flow = workflow
+        with pytest.raises(RuntimeError):
+            flow.interrogate()
+        with pytest.raises(RuntimeError):
+            flow.close()
+
+    def test_channel_claimed_and_released(self, workflow):
+        bed, flow = workflow
+        outcome = flow.open()
+        assert not flow.plan.is_idle(
+            outcome.channel_index, bed.simulator.now
+        )
+        flow.close()
+        assert flow.plan.is_idle(outcome.channel_index, bed.simulator.now + 1.0)
+
+    def test_requires_relay_capable_shield(self):
+        bed = AttackTestbed(location_index=1, shield_present=True, seed=1)
+        secret = OutOfBandPairing(b"x").derive_secret("111111")
+        link = ProgrammerLink(secret, bed.codec)
+        with pytest.raises(ValueError):
+            RelayedSessionWorkflow(
+                bed.simulator, bed.shield, link, target_serial=bed.imd.serial
+            )
+
+    def test_lbt_pause_observed(self, workflow):
+        bed, flow = workflow
+        start = bed.simulator.now
+        flow.open()
+        first_tx = bed.air.transmissions_by("shield", kind="packet")[0]
+        assert first_tx.start_time - start >= 0.010

@@ -1,0 +1,202 @@
+"""Tests for the event-level air: powers, segments, bit corruption."""
+
+import numpy as np
+import pytest
+
+from repro.sim.air import Air, LinkModel
+from repro.sim.engine import Simulator
+
+
+class FlatLinks(LinkModel):
+    """Constant pathloss everywhere; configurable noise; no fading."""
+
+    def __init__(self, loss_db=50.0, noise_dbm=-110.0):
+        self.loss_db = loss_db
+        self.noise_dbm = noise_dbm
+
+    def mean_rx_power_dbm(self, source, destination, tx_power_dbm):
+        return tx_power_dbm - self.loss_db
+
+    def fading_db(self, source, destination, rng):
+        return 0.0
+
+    def noise_power_dbm(self, destination):
+        return self.noise_dbm
+
+
+class Listener:
+    """Minimal radio-device duck type that records notifications."""
+
+    full_duplex_rejection_db = None
+
+    def __init__(self, name, channels={0}):
+        self.name = name
+        self.monitored_channels = set(channels)
+        self.started = []
+        self.ended = []
+
+    def attach(self, air):
+        self.air = air
+
+    def on_transmission_start(self, tx):
+        self.started.append(tx)
+
+    def on_transmission_end(self, tx):
+        self.ended.append(tx)
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator()
+    air = Air(sim, FlatLinks(), rng=np.random.default_rng(0))
+    a = Listener("a")
+    b = Listener("b")
+    air.register(a)
+    air.register(b)
+    return sim, air, a, b
+
+
+class TestNotifications:
+    def test_start_and_end_delivered(self, rig):
+        sim, air, a, b = rig
+        bits = np.ones(100, dtype=int)
+        air.transmit("a", 0, -16.0, 100e3, bits=bits)
+        sim.run()
+        assert len(b.started) == 1 and len(b.ended) == 1
+        assert not a.started  # no self-notification
+
+    def test_channel_filtering(self, rig):
+        sim, air, a, b = rig
+        b.monitored_channels = {5}
+        air.transmit("a", 0, -16.0, 100e3, bits=np.ones(10, dtype=int))
+        sim.run()
+        assert not b.started
+
+    def test_open_ended_stop(self, rig):
+        sim, air, a, b = rig
+        jam = air.transmit("a", 0, -16.0, 100e3, kind="jam", duration=None)
+        sim.schedule(0.01, lambda: air.stop(jam))
+        sim.run()
+        assert jam.end_time == pytest.approx(0.01)
+        assert len(b.ended) == 1
+
+    def test_duplicate_name_rejected(self, rig):
+        sim, air, a, b = rig
+        with pytest.raises(ValueError):
+            air.register(Listener("a"))
+
+    def test_unknown_source_rejected(self, rig):
+        sim, air, a, b = rig
+        with pytest.raises(ValueError):
+            air.transmit("ghost", 0, -16.0, 100e3, bits=np.ones(8, dtype=int))
+
+
+class TestSensing:
+    def test_channel_busy(self, rig):
+        sim, air, a, b = rig
+        assert not air.channel_busy(0)
+        air.transmit("a", 0, -16.0, 100e3, bits=np.ones(1000, dtype=int))
+        assert air.channel_busy(0)
+        assert not air.channel_busy(1)
+
+    def test_rssi_reflects_loss(self, rig):
+        sim, air, a, b = rig
+        tx = air.transmit("a", 0, -16.0, 100e3, bits=np.ones(10, dtype=int))
+        assert air.rssi_dbm(tx, "b") == pytest.approx(-66.0)
+
+    def test_rssi_cached_per_receiver(self, rig):
+        sim, air, a, b = rig
+        tx = air.transmit("a", 0, -16.0, 100e3, bits=np.ones(10, dtype=int))
+        assert air.rssi_dbm(tx, "b") == air.rssi_dbm(tx, "b")
+
+
+class TestReception:
+    def test_clean_reception_no_flips(self, rig):
+        sim, air, a, b = rig
+        bits = np.ones(500, dtype=int)
+        tx = air.transmit("a", 0, -16.0, 100e3, bits=bits)
+        sim.run()
+        rec = air.receive(tx, "b")
+        assert rec.bit_flips == 0
+        assert np.array_equal(rec.bits, bits)
+        # SNR = -66 - (-110) = 44 dB.
+        assert rec.mean_sinr_db == pytest.approx(44.0)
+
+    def test_strong_interference_flips_bits(self):
+        sim = Simulator()
+        air = Air(sim, FlatLinks(loss_db=30.0), rng=np.random.default_rng(1))
+        for name in ("victim", "jammer", "rx"):
+            air.register(Listener(name))
+        bits = np.zeros(2000, dtype=int)
+        tx = air.transmit("victim", 0, -16.0, 100e3, bits=bits)
+        air.transmit("jammer", 0, 4.0, 100e3, kind="jam", duration=0.02)
+        sim.run()
+        rec = air.receive(tx, "rx")
+        # SIR = -20 dB -> BER ~ 0.5.
+        assert 0.35 < rec.bit_flips / len(bits) < 0.65
+
+    def test_partial_jam_corrupts_only_tail(self):
+        """Reactive jamming: the jam starts mid-packet; bits before the
+        jam survive, bits after it flip."""
+        sim = Simulator()
+        air = Air(sim, FlatLinks(loss_db=30.0), rng=np.random.default_rng(2))
+        for name in ("victim", "jammer", "rx"):
+            air.register(Listener(name))
+        bits = np.zeros(1000, dtype=int)  # 10 ms at 100 kb/s
+        tx = air.transmit("victim", 0, -16.0, 100e3, bits=bits)
+        sim.schedule(
+            0.005,
+            lambda: air.transmit("jammer", 0, 4.0, 100e3, kind="jam", duration=0.01),
+        )
+        sim.run()
+        rec = air.receive(tx, "rx")
+        first_half = rec.bits[:490]
+        second_half = rec.bits[510:]
+        assert np.array_equal(first_half, np.zeros(490, dtype=int))
+        assert np.mean(second_half) > 0.3  # heavily flipped
+
+    def test_partial_window_truncates_bits(self, rig):
+        sim, air, a, b = rig
+        bits = np.ones(1000, dtype=int)
+        tx = air.transmit("a", 0, -16.0, 100e3, bits=bits)
+        sim.run(until=0.004)
+        rec = air.receive(tx, "b", until=0.004)
+        assert len(rec.bits) == 400
+
+    def test_full_duplex_rejection_applied(self):
+        """A full-duplex receiver hears through its own jam; a
+        half-duplex one is deaf while transmitting."""
+
+        def run(rejection_db):
+            sim = Simulator()
+            air = Air(sim, FlatLinks(loss_db=30.0), rng=np.random.default_rng(3))
+            victim = Listener("victim")
+            rx = Listener("rx")
+            rx.full_duplex_rejection_db = rejection_db
+            air.register(victim)
+            air.register(rx)
+            bits = np.zeros(1000, dtype=int)
+            tx = air.transmit("victim", 0, -16.0, 100e3, bits=bits)
+            air.transmit("rx", 0, -16.0, 100e3, kind="jam", duration=0.02)
+            sim.run()
+            return air.receive(tx, "rx")
+
+        full_duplex = run(rejection_db=80.0)
+        half_duplex = run(rejection_db=None)
+        assert full_duplex.bit_flips == 0
+        assert half_duplex.bit_flips > 100
+        assert full_duplex.mean_sinr_db > half_duplex.mean_sinr_db + 50
+
+    def test_empty_window_rejected(self, rig):
+        sim, air, a, b = rig
+        tx = air.transmit("a", 0, -16.0, 100e3, bits=np.ones(10, dtype=int))
+        with pytest.raises(ValueError):
+            air.receive(tx, "b", until=0.0)
+
+    def test_transmissions_by(self, rig):
+        sim, air, a, b = rig
+        air.transmit("a", 0, -16.0, 100e3, bits=np.ones(8, dtype=int))
+        air.transmit("a", 0, -16.0, 100e3, kind="jam", duration=0.001)
+        sim.run()
+        assert len(air.transmissions_by("a")) == 2
+        assert len(air.transmissions_by("a", kind="jam")) == 1

@@ -1,0 +1,92 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+class TestSimulator:
+    def test_runs_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(0.3, lambda: order.append("c"))
+        sim.schedule(0.1, lambda: order.append("a"))
+        sim.schedule(0.2, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(0.1, lambda: order.append(1))
+        sim.schedule(0.1, lambda: order.append(2))
+        sim.schedule(0.1, lambda: order.append(3))
+        sim.run()
+        assert order == [1, 2, 3]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(0.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [0.5]
+
+    def test_run_until_stops(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run(until=1.5)
+        assert fired == [1]
+        assert sim.now == 1.5
+
+    def test_run_until_advances_time_on_empty_queue(self):
+        sim = Simulator()
+        sim.run(until=3.0)
+        assert sim.now == 3.0
+
+    def test_callbacks_can_schedule(self):
+        sim = Simulator()
+        result = []
+
+        def first():
+            sim.schedule(0.1, lambda: result.append("second"))
+
+        sim.schedule(0.1, first)
+        sim.run()
+        assert result == ["second"]
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(0.2, lambda: fired.append(1))
+        event.cancel()
+        sim.run()
+        assert fired == []
+        assert sim.pending() == 0
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.schedule(0.1, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.05, lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(0.1 * (i + 1), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_interleaved_runs_compose(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.run(until=1.0)
+        assert fired == ["a"]
+        sim.run(until=2.0)
+        assert fired == ["a", "b"]
