@@ -11,29 +11,31 @@ Walks the three attacker classes of the paper's evaluation:
    limitation: it can still win from a few LOS metres, but the shield
    raises an alarm every time it could.
 
+Sweeps run on the batched Monte-Carlo runtime: set ``REPRO_WORKERS=4``
+(or pass ``workers=`` to the sweep helpers) to fan the per-location work
+units across a process pool -- the numbers come out identical either
+way.
+
 Run:  python examples/active_attack.py
 """
 
+from repro.experiments.sweeps import attack_success_sweep
 from repro.experiments.testbed import AttackTestbed
 
 
 def sweep(attacker: str, shield: bool, command: str, locations, trials=25):
-    row = []
-    for loc in locations:
-        bed = AttackTestbed(
-            location_index=loc,
-            shield_present=shield,
-            attacker=attacker,
-            seed=400 + loc,
-        )
-        outcomes = bed.run_trials(trials, command=command)
-        if command == "therapy":
-            wins = sum(o.therapy_changed for o in outcomes)
-        else:
-            wins = sum(o.imd_responded for o in outcomes)
-        alarms = sum(o.alarm_raised for o in outcomes)
-        row.append((loc, wins / trials, alarms / trials))
-    return row
+    results = attack_success_sweep(
+        shield_present=shield,
+        n_trials=trials,
+        command=command,
+        attacker=attacker,
+        location_indices=tuple(locations),
+        seed=400,
+    )
+    return [
+        (loc, results[loc].success_probability, results[loc].alarm_probability)
+        for loc in locations
+    ]
 
 
 def main() -> None:

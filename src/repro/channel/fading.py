@@ -15,8 +15,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.phy.signal import linear_to_db
-
 __all__ = ["rayleigh_gain", "rician_gain", "FadingModel"]
 
 
@@ -68,17 +66,38 @@ class FadingModel:
 
     def gain_db(self, line_of_sight: bool, rng: np.random.Generator) -> float:
         """Draw a combined fading + shadowing gain in dB (mean ~ 0 dB)."""
+        return float(self.gain_db_batch(line_of_sight, rng, 1)[0])
+
+    def gain_db_batch(
+        self, line_of_sight: bool, rng: np.random.Generator, count: int
+    ) -> np.ndarray:
+        """``count`` independent :meth:`gain_db` draws in one vector pass.
+
+        The event simulator draws a fading term per (transmission,
+        receiver); batching the normals keeps that off the scalar-RNG
+        hot path.  :meth:`gain_db` is the batch of one, so the fast-
+        fading formulas live only here (plus the complex-valued
+        :func:`rician_gain`/:func:`rayleigh_gain` used for waveforms).
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
         if not self.enabled:
-            return 0.0
+            return np.zeros(count)
+        z = rng.standard_normal((count, 3))
         if line_of_sight:
-            fast = rician_gain(self.los_k_factor_db, rng)
+            if math.isinf(self.los_k_factor_db) and self.los_k_factor_db > 0:
+                fast_power = np.ones(count)
+            else:
+                k = 10.0 ** (self.los_k_factor_db / 10.0)
+                direct = math.sqrt(k / (k + 1.0))
+                scatter_scale = math.sqrt(1.0 / (2.0 * (k + 1.0)))
+                fast_power = (direct + scatter_scale * z[:, 0]) ** 2 + (
+                    scatter_scale * z[:, 1]
+                ) ** 2
         else:
-            fast = rayleigh_gain(rng)
-        fast_power = abs(fast) ** 2
-        # Guard the (measure-zero but numerically possible) deep-null draw.
-        fast_power = max(fast_power, 1e-12)
-        shadow_db = rng.normal(0.0, self.shadowing_sigma_db)
-        return linear_to_db(fast_power) + shadow_db
+            fast_power = (z[:, 0] ** 2 + z[:, 1] ** 2) / 2.0
+        fast_power = np.maximum(fast_power, 1e-12)
+        return 10.0 * np.log10(fast_power) + self.shadowing_sigma_db * z[:, 2]
 
     def complex_gain(
         self, line_of_sight: bool, rng: np.random.Generator

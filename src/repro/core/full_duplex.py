@@ -31,7 +31,53 @@ from repro.core.antidote import antidote_signal, estimate_channel, residual_gain
 from repro.core.config import ShieldConfig
 from repro.phy.signal import Waveform, db_to_linear, linear_to_db
 
-__all__ = ["FrontEndChannels", "JammerCumReceiver"]
+__all__ = ["FrontEndChannels", "JammerCumReceiver", "batch_effective_jam_gains"]
+
+
+def batch_effective_jam_gains(
+    config: ShieldConfig,
+    rng: np.random.Generator,
+    count: int,
+    use_digital: bool = False,
+    relative_std: float | None = None,
+) -> np.ndarray:
+    """Per-trial effective jam gains for a whole batch of front ends.
+
+    Each entry is what one fresh :class:`JammerCumReceiver` -- random
+    channels, probe-quality estimates, antidote engaged -- would multiply
+    the jam by at its receive antenna: the residual gain of eq. 2-4,
+    optionally deepened by the digital second stage.  Drawing ``count``
+    front ends at once is the batched equivalent of the per-packet
+    ``FrontEndChannels.draw`` + ``set_estimation_error`` + ``received``
+    chain the waveform lab used to run in a Python loop.
+    """
+    if count <= 0:
+        raise ValueError("need at least one front end in a batch")
+    std = config.estimation_error_std if relative_std is None else relative_std
+    if std < 0:
+        raise ValueError("relative error std cannot be negative")
+    self_phase = rng.uniform(0.0, 2.0 * math.pi, size=count)
+    air_phase = rng.uniform(0.0, 2.0 * math.pi, size=count)
+    air_magnitude = math.sqrt(db_to_linear(config.jam_to_self_ratio_db))
+    h_self = np.exp(1j * self_phase)
+    h_air = air_magnitude * np.exp(1j * air_phase)
+    error_scale = std / math.sqrt(2.0)
+    err_self = error_scale * (
+        rng.standard_normal(count) + 1j * rng.standard_normal(count)
+    )
+    err_air = error_scale * (
+        rng.standard_normal(count) + 1j * rng.standard_normal(count)
+    )
+    est_self = h_self * (1.0 + err_self)
+    est_air = h_air * (1.0 + err_air)
+    if np.any(est_self == 0):
+        raise ValueError("estimated H_self cannot be zero")
+    effective = h_air - h_self * (est_air / est_self)
+    if use_digital:
+        effective = effective * math.sqrt(
+            db_to_linear(-config.digital_cancellation_db)
+        )
+    return effective
 
 
 @dataclass(frozen=True)

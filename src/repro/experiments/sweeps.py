@@ -6,14 +6,27 @@ locations, run N trials at each, and record success (and alarm)
 probabilities with and without the shield.  These helpers are what the
 benchmarks and examples iterate; downstream users get the same loops for
 their own parameter studies.
+
+Execution runs on the batched Monte-Carlo runtime
+(:mod:`repro.runtime`): each (location, trial-chunk) is an independent
+work unit with its own RNG stream, fanned across a
+:class:`~repro.runtime.SweepExecutor` -- serial by default, a process
+pool when ``workers=``/``REPRO_WORKERS`` asks for one.  Because the work
+plan and every unit's seed material are fixed before execution starts,
+serial and parallel runs of the same sweep produce identical
+:class:`LocationResult` values.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.experiments.metrics import success_probability
 from repro.experiments.testbed import AttackTestbed
+from repro.runtime import SweepExecutor, chunk_sizes
+from repro.runtime.seeding import unit_seed_sequence
 
 __all__ = ["LocationResult", "attack_success_sweep", "highpower_sweep"]
 
@@ -34,6 +47,89 @@ class LocationResult:
         return low, high
 
 
+@dataclass(frozen=True)
+class _ChunkSpec:
+    """One self-contained work unit: a block of trials at one location.
+
+    Everything a worker needs travels in the spec (it must survive
+    pickling into a process pool); ``seed`` is either the legacy integer
+    for a whole-location block or the chunk's own
+    :class:`numpy.random.SeedSequence` when a location's trials are
+    sharded.
+    """
+
+    location_index: int
+    n_trials: int
+    command: str
+    attacker: str
+    shield_present: bool
+    antenna_gain_dbi: float | None
+    seed: int | np.random.SeedSequence
+
+
+def _run_chunk(spec: _ChunkSpec) -> tuple[int, int]:
+    """Evaluate one work unit: (successes, alarms) over its trials."""
+    bed = AttackTestbed(
+        location_index=spec.location_index,
+        shield_present=spec.shield_present,
+        attacker=spec.attacker,
+        seed=spec.seed,
+        antenna_gain_dbi=spec.antenna_gain_dbi,
+        # Outcomes are read from the IMD's and shield's own counters, so
+        # the sweep skips the observer USRP's per-packet receptions.
+        observer_enabled=False,
+    )
+    outcomes = bed.run_trials(spec.n_trials, command=spec.command)
+    if spec.command == "therapy":
+        wins = sum(o.therapy_changed for o in outcomes)
+    else:
+        wins = sum(o.imd_responded for o in outcomes)
+    alarms = sum(o.alarm_raised for o in outcomes)
+    return wins, alarms
+
+
+def _plan_chunks(
+    location_indices: tuple[int, ...],
+    n_trials: int,
+    command: str,
+    attacker: str,
+    shield_present: bool,
+    antenna_gain_dbi: float | None,
+    seed: int,
+    chunk_size: int | None,
+) -> list[_ChunkSpec]:
+    """The deterministic work plan of one sweep.
+
+    A whole-location chunk keeps the historical ``seed + location``
+    integer seeding scheme, so default (unchunked) sweeps are a pure
+    function of ``(seed, location)`` regardless of worker count or
+    chunking machinery.  Sharded locations derive per-chunk streams from
+    ``SeedSequence(seed, spawn_key=(location, chunk))``, which likewise
+    depends only on the plan coordinates -- never on workers or
+    scheduling.
+    """
+    plan: list[_ChunkSpec] = []
+    for location in location_indices:
+        sizes = chunk_sizes(n_trials, chunk_size)
+        for chunk_index, size in enumerate(sizes):
+            if len(sizes) == 1:
+                chunk_seed: int | np.random.SeedSequence = seed + location
+            else:
+                chunk_seed = unit_seed_sequence(seed, (location, chunk_index))
+            plan.append(
+                _ChunkSpec(
+                    location_index=location,
+                    n_trials=size,
+                    command=command,
+                    attacker=attacker,
+                    shield_present=shield_present,
+                    antenna_gain_dbi=antenna_gain_dbi,
+                    seed=chunk_seed,
+                )
+            )
+    return plan
+
+
 def attack_success_sweep(
     shield_present: bool,
     n_trials: int,
@@ -42,35 +138,52 @@ def attack_success_sweep(
     location_indices: tuple[int, ...] = tuple(range(1, 15)),
     seed: int = 0,
     antenna_gain_dbi: float | None = None,
+    workers: int | None = None,
+    chunk_size: int | None = None,
 ) -> dict[int, LocationResult]:
     """Run one Fig. 11/12-style sweep.
 
     ``command`` selects the attack goal: ``"interrogate"`` counts IMD
     replies (battery depletion), ``"therapy"`` counts applied therapy
     changes.  Returns results keyed by location index.
+
+    ``workers`` (default: the ``REPRO_WORKERS`` environment variable,
+    else serial) fans the independent (location, trial-chunk) work units
+    across a process pool; ``chunk_size`` additionally shards each
+    location's trials so a single location can spread over several
+    workers.  Any worker count returns identical results for the same
+    arguments.
     """
-    results: dict[int, LocationResult] = {}
-    for location in location_indices:
-        bed = AttackTestbed(
+    if command not in ("interrogate", "therapy"):
+        raise ValueError(f"unknown command {command!r}")
+    # Results are keyed by location, so duplicate indices collapse to one
+    # entry (and must not double-count their trials in the reduction).
+    location_indices = tuple(dict.fromkeys(location_indices))
+    plan = _plan_chunks(
+        location_indices,
+        n_trials,
+        command,
+        attacker,
+        shield_present,
+        antenna_gain_dbi,
+        seed,
+        chunk_size,
+    )
+    counts = SweepExecutor(workers).map(_run_chunk, plan)
+    wins: dict[int, int] = {loc: 0 for loc in location_indices}
+    alarms: dict[int, int] = {loc: 0 for loc in location_indices}
+    for spec, (chunk_wins, chunk_alarms) in zip(plan, counts):
+        wins[spec.location_index] += chunk_wins
+        alarms[spec.location_index] += chunk_alarms
+    return {
+        location: LocationResult(
             location_index=location,
-            shield_present=shield_present,
-            attacker=attacker,
-            seed=seed + location,
-            antenna_gain_dbi=antenna_gain_dbi,
-        )
-        outcomes = bed.run_trials(n_trials, command=command)
-        if command == "therapy":
-            wins = sum(o.therapy_changed for o in outcomes)
-        else:
-            wins = sum(o.imd_responded for o in outcomes)
-        alarms = sum(o.alarm_raised for o in outcomes)
-        results[location] = LocationResult(
-            location_index=location,
-            success_probability=wins / n_trials,
-            alarm_probability=alarms / n_trials,
+            success_probability=wins[location] / n_trials,
+            alarm_probability=alarms[location] / n_trials,
             n_trials=n_trials,
         )
-    return results
+        for location in location_indices
+    }
 
 
 def highpower_sweep(
@@ -79,6 +192,8 @@ def highpower_sweep(
     location_indices: tuple[int, ...] = tuple(range(1, 19)),
     seed: int = 0,
     antenna_gain_dbi: float | None = None,
+    workers: int | None = None,
+    chunk_size: int | None = None,
 ) -> dict[int, LocationResult]:
     """The Fig. 13 sweep: the 100x-power adversary across all locations."""
     return attack_success_sweep(
@@ -89,4 +204,6 @@ def highpower_sweep(
         location_indices=location_indices,
         seed=seed,
         antenna_gain_dbi=antenna_gain_dbi,
+        workers=workers,
+        chunk_size=chunk_size,
     )

@@ -13,11 +13,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.adversary.eavesdropper import Eavesdropper
 from repro.adversary.strategies import DecodingStrategy, TreatJammingAsNoise
 from repro.channel.link_budget import LinkBudget
 from repro.core.config import ShieldConfig
-from repro.core.full_duplex import JammerCumReceiver
+from repro.core.full_duplex import JammerCumReceiver, batch_effective_jam_gains
 from repro.core.jamming import ShapedJammer
 from repro.phy.fsk import FSKConfig, FSKModulator, NoncoherentFSKDemodulator
 from repro.phy.signal import Waveform, db_to_linear, dbm_to_watts
@@ -28,6 +27,7 @@ from repro.protocol.commands import CommandType
 __all__ = [
     "PassiveLab",
     "PacketTrial",
+    "BatchTrialResult",
     "TradeoffPoint",
     "cancellation_samples",
     "fsk_profile_peaks",
@@ -39,6 +39,16 @@ def _dbm_to_linear_mw(power_dbm: float) -> float:
     return dbm_to_watts(power_dbm) * 1e3
 
 
+def _rows_scaled_to_power(rows: np.ndarray, power: float) -> np.ndarray:
+    """Scale each row of a sample matrix to a target mean power."""
+    if power < 0:
+        raise ValueError("power must be non-negative")
+    current = np.mean(np.abs(rows) ** 2, axis=1)
+    if np.any(current <= 0):
+        raise ValueError("cannot scale a zero-power row to a target power")
+    return rows * np.sqrt(power / current)[:, None]
+
+
 @dataclass(frozen=True)
 class PacketTrial:
     """Outcome of one jammed IMD packet."""
@@ -46,6 +56,51 @@ class PacketTrial:
     eavesdropper_ber: float
     shield_bit_errors: int
     shield_packet_lost: bool
+
+
+@dataclass(frozen=True)
+class BatchTrialResult:
+    """Per-packet outcomes of one batched block of jammed IMD packets.
+
+    Receivers the caller chose not to score (``score_shield=False`` /
+    ``score_eavesdropper=False`` on :meth:`PassiveLab.run_batch`) carry
+    ``None`` fields -- a sweep that only reads one side should not pay
+    for the other.
+    """
+
+    eavesdropper_ber: np.ndarray | None
+    shield_bit_errors: np.ndarray | None
+    shield_packet_lost: np.ndarray | None
+
+    @property
+    def n_packets(self) -> int:
+        for field in (self.eavesdropper_ber, self.shield_bit_errors):
+            if field is not None:
+                return len(field)
+        raise ValueError("batch scored neither receiver")
+
+    def mean_eavesdropper_ber(self) -> float:
+        if self.eavesdropper_ber is None:
+            raise ValueError("batch did not score the eavesdropper")
+        return float(np.mean(self.eavesdropper_ber))
+
+    def shield_loss_rate(self) -> float:
+        if self.shield_packet_lost is None:
+            raise ValueError("batch did not score the shield")
+        return float(np.mean(self.shield_packet_lost))
+
+    def trials(self) -> list[PacketTrial]:
+        """The batch unpacked into per-packet :class:`PacketTrial` rows."""
+        if self.eavesdropper_ber is None or self.shield_bit_errors is None:
+            raise ValueError("trials() needs both receivers scored")
+        return [
+            PacketTrial(
+                eavesdropper_ber=float(self.eavesdropper_ber[i]),
+                shield_bit_errors=int(self.shield_bit_errors[i]),
+                shield_packet_lost=bool(self.shield_packet_lost[i]),
+            )
+            for i in range(self.n_packets)
+        ]
 
 
 @dataclass(frozen=True)
@@ -104,12 +159,24 @@ class PassiveLab:
         )
         return self.codec.encode(packet)
 
-    def _random_phase(self) -> complex:
-        phi = self.rng.uniform(0, 2 * np.pi)
-        return complex(np.cos(phi), np.sin(phi))
+    def telemetry_packet_bits_batch(self, n_packets: int) -> np.ndarray:
+        """``(n_packets, n_bits)`` bit matrix of fresh telemetry packets.
+
+        Every packet has the same frame layout (fixed header, 24-byte
+        payload), so a trial block stacks into a rectangular matrix the
+        batched modulator consumes in one pass.
+        """
+        if n_packets <= 0:
+            raise ValueError("need at least one packet in a batch")
+        return np.stack([self.telemetry_packet_bits() for _ in range(n_packets)])
+
+    def _random_phases(self, count: int) -> np.ndarray:
+        """``count`` unit-magnitude random phases, one per packet."""
+        phi = self.rng.uniform(0, 2 * np.pi, size=count)
+        return np.exp(1j * phi)
 
     # ------------------------------------------------------------------
-    # One jammed packet
+    # Jammed packets (batched core)
     # ------------------------------------------------------------------
 
     def run_trial(
@@ -121,58 +188,281 @@ class PassiveLab:
         use_digital: bool = True,
     ) -> PacketTrial:
         """Transmit one IMD packet under jamming; score both receivers."""
-        bits = self.telemetry_packet_bits()
-        clean = self.modulator.modulate(bits)
-        n = len(clean)
-        jammer = jammer or self.jammer
-        jam = jammer.generate(n, power=1.0)
+        batch = self.run_batch(
+            jam_margin_db,
+            n_packets=1,
+            location_index=location_index,
+            strategy=strategy,
+            jammer=jammer,
+            use_digital=use_digital,
+        )
+        return batch.trials()[0]
 
-        # Powers from the link budget, in linear mW.
+    def run_batch(
+        self,
+        jam_margin_db: float,
+        n_packets: int,
+        location_index: int = 1,
+        strategy: DecodingStrategy | None = None,
+        jammer: ShapedJammer | None = None,
+        use_digital: bool = True,
+        score_shield: bool = True,
+        score_eavesdropper: bool = True,
+    ) -> BatchTrialResult:
+        """Transmit ``n_packets`` jammed IMD packets as one vectorized pass.
+
+        The whole block runs as ``(n_packets, ...)`` matrices rather than
+        a per-packet Python loop.  Two engines sit underneath:
+
+        * For the default treat-as-noise eavesdropper on an
+          orthogonal-tone FSK config, both receivers' noncoherent
+          detectors consume only the per-bit tone correlations -- a
+          sufficient statistic -- so the batch is evaluated directly in
+          correlation domain (:meth:`ShapedJammer.tone_correlation_batch`
+          plus closed-form signal correlations), never synthesising the
+          long sample matrices at all.
+        * Any other strategy/config falls back to the general sample-level
+          batch: one batched modulation, one batched IFFT for the jam,
+          one reshape + matmul per receiver.
+
+        ``score_shield`` / ``score_eavesdropper`` select which receivers
+        to evaluate; a sweep that only reads one side skips the other's
+        randomness and demodulation entirely.  Statistically each scored
+        row is an independent trial exactly like :meth:`run_trial`
+        produces.
+        """
+        if not (score_shield or score_eavesdropper):
+            raise ValueError("must score at least one receiver")
+        strategy = strategy or TreatJammingAsNoise()
+        jammer = jammer or self.jammer
+        powers = self._link_powers(jam_margin_db, location_index)
+        if self._correlation_path_ok(strategy, jammer):
+            return self._run_batch_correlations(
+                n_packets, powers, jammer, use_digital, score_shield,
+                score_eavesdropper,
+            )
+        return self._run_batch_samples(
+            n_packets, powers, strategy, jammer, use_digital, score_shield,
+            score_eavesdropper,
+        )
+
+    def _link_powers(
+        self, jam_margin_db: float, location_index: int
+    ) -> dict[str, float]:
+        """All linear-mW link powers of one (margin, location) operating
+        point."""
         location = self.budget.geometry.location(location_index)
-        p_imd_shield = _dbm_to_linear_mw(self.budget.imd_rx_at_shield_dbm())
-        p_imd_adv = _dbm_to_linear_mw(self.budget.imd_rx_at_location_dbm(location))
-        jam_at_shield_dbm = self.budget.imd_rx_at_shield_dbm() + jam_margin_db
+        imd_at_shield_dbm = self.budget.imd_rx_at_shield_dbm()
+        jam_at_shield_dbm = imd_at_shield_dbm + jam_margin_db
         # The jam leaves the shield at its antenna power and rides the
         # same air path as the IMD's signal to the adversary (eq. 7).
         jam_at_adv_dbm = jam_at_shield_dbm - self.budget.geometry.air_loss_to_shield_db(
             location
         )
-        p_jam_adv = _dbm_to_linear_mw(jam_at_adv_dbm)
-        noise_adv = _dbm_to_linear_mw(self.budget.receiver_noise_dbm)
-        noise_shield = _dbm_to_linear_mw(self.budget.receiver_noise_dbm)
+        return {
+            "p_imd_shield": _dbm_to_linear_mw(imd_at_shield_dbm),
+            "p_imd_adv": _dbm_to_linear_mw(
+                self.budget.imd_rx_at_location_dbm(location)
+            ),
+            "p_jam_adv": _dbm_to_linear_mw(jam_at_adv_dbm),
+            "p_jam_tx": _dbm_to_linear_mw(jam_at_shield_dbm)
+            / db_to_linear(self.config.jam_to_self_ratio_db),
+            "noise": _dbm_to_linear_mw(self.budget.receiver_noise_dbm),
+        }
 
-        # --- the shield's reception through its own jamming ------------
-        front_end = JammerCumReceiver(self.config, rng=self.rng)
-        front_end.set_estimation_error()
-        jam_tx = jam.scaled_to_power(
-            _dbm_to_linear_mw(jam_at_shield_dbm)
-            / db_to_linear(self.config.jam_to_self_ratio_db)
+    def _correlation_path_ok(
+        self, strategy: DecodingStrategy, jammer: ShapedJammer
+    ) -> bool:
+        """Whether the correlation-domain fast path is exact here.
+
+        It needs (a) the plain treat-as-noise strategy (no sample-level
+        preprocessing), and (b) orthogonal tones whose per-bit phase
+        accumulation is closed-form: an integer modulation index that the
+        per-bit sample count does not divide.
+        """
+        if type(strategy) is not TreatJammingAsNoise:
+            return False
+        if jammer.sample_rate != self.fsk.sample_rate:
+            return False
+        h = self.fsk.modulation_index
+        if abs(h - round(h)) > 1e-9:
+            return False
+        h_int = int(round(h))
+        return h_int != 0 and h_int % self.fsk.samples_per_bit != 0
+
+    def _run_batch_correlations(
+        self,
+        n_packets: int,
+        powers: dict[str, float],
+        jammer: ShapedJammer,
+        use_digital: bool,
+        score_shield: bool,
+        score_eavesdropper: bool,
+    ) -> BatchTrialResult:
+        """Correlation-domain batch: exact sufficient statistics only."""
+        bits = self.telemetry_packet_bits_batch(n_packets)
+        n_bits = bits.shape[1]
+        spb = self.fsk.samples_per_bit
+        h = int(round(self.fsk.modulation_index))
+
+        # The clean packet's correlation against (f0, f1) is closed-form:
+        # the matched tone integrates to spb, the other tone to zero, and
+        # the accumulated phase at bit b is b*pi*h (mod 2*pi).
+        matched = spb * np.exp(1j * np.pi * h * np.arange(n_bits))
+        bits_are_one = bits.astype(bool)
+        noise_var = powers["noise"] * spb
+
+        # One jam realisation per packet, shared by both receivers.
+        jam_corr = jammer.tone_correlation_batch(
+            n_packets, self.fsk, n_bits, power=1.0
         )
-        external = clean.scaled(self._random_phase()).scaled_to_power(p_imd_shield)
-        shield_rx = front_end.received(
-            jam_tx,
-            external=external,
-            noise_power=noise_shield,
-            use_antidote=True,
-            use_digital=use_digital,
-        )
-        shield_bits = self.demodulator.demodulate(shield_rx, n_bits=len(bits))
-        shield_errors = int(np.sum(shield_bits != bits))
 
-        # --- the eavesdropper's reception -------------------------------
-        eve_signal = clean.scaled(self._random_phase()).scaled_to_power(p_imd_adv)
-        eve_jam = jam.scaled(self._random_phase()).scaled_to_power(p_jam_adv)
-        mixed = Waveform(
-            eve_signal.samples + eve_jam.samples, self.fsk.sample_rate
-        ).with_noise(noise_adv, self.rng)
-        eavesdropper = Eavesdropper(self.fsk, strategy or TreatJammingAsNoise())
-        result = eavesdropper.attack(mixed, bits)
+        def received_corr(jam_gains: np.ndarray, signal_gains: np.ndarray):
+            """One receiver's per-bit correlations, accumulated in place."""
+            corr = jam_corr * jam_gains[:, None, None]
+            signal = signal_gains[:, None] * matched
+            corr[:, :, 0] += np.where(bits_are_one, 0.0, signal)
+            corr[:, :, 1] += np.where(bits_are_one, signal, 0.0)
+            corr += self._correlation_noise(n_packets, n_bits, noise_var)
+            return corr
 
-        return PacketTrial(
-            eavesdropper_ber=result.bit_error_rate,
+        def decide(corr: np.ndarray) -> np.ndarray:
+            # |corr1| > |corr0| without the square roots.
+            mag = corr.real**2 + corr.imag**2
+            return mag[:, :, 1] > mag[:, :, 0]
+
+        shield_errors = shield_lost = eve_ber = None
+        if score_shield:
+            effective = batch_effective_jam_gains(
+                self.config, self.rng, n_packets, use_digital=use_digital
+            )
+            corr = received_corr(
+                np.sqrt(powers["p_jam_tx"]) * effective,
+                np.sqrt(powers["p_imd_shield"]) * self._random_phases(n_packets),
+            )
+            shield_errors = np.sum(decide(corr) != bits_are_one, axis=1)
+            shield_lost = shield_errors > 0
+        if score_eavesdropper:
+            corr = received_corr(
+                np.sqrt(powers["p_jam_adv"]) * self._random_phases(n_packets),
+                np.sqrt(powers["p_imd_adv"]) * self._random_phases(n_packets),
+            )
+            eve_ber = np.mean(decide(corr) != bits_are_one, axis=1)
+
+        return BatchTrialResult(
+            eavesdropper_ber=eve_ber,
             shield_bit_errors=shield_errors,
-            shield_packet_lost=shield_errors > 0,
+            shield_packet_lost=shield_lost,
         )
+
+    def _correlation_noise(
+        self, n_packets: int, n_bits: int, variance: float
+    ) -> np.ndarray:
+        """Receiver AWGN as seen by the per-bit correlators.
+
+        White noise of linear power ``p`` correlated against a
+        unit-amplitude length-``spb`` template is complex Gaussian with
+        total variance ``p * spb``, independent across bits and (for
+        orthogonal tones) across the two correlators.
+        """
+        return self._complex_noise((n_packets, n_bits, 2), variance)
+
+    def _run_batch_samples(
+        self,
+        n_packets: int,
+        powers: dict[str, float],
+        strategy: DecodingStrategy,
+        jammer: ShapedJammer,
+        use_digital: bool,
+        score_shield: bool = True,
+        score_eavesdropper: bool = True,
+    ) -> BatchTrialResult:
+        """General sample-level batch (any strategy, any FSK config)."""
+        bits = self.telemetry_packet_bits_batch(n_packets)
+        clean = self.modulator.modulate_batch(bits)
+        n = clean.shape[1]
+        jam = jammer.generate_batch(n_packets, n, power=1.0)
+
+        shield_errors = shield_lost = eve_ber = None
+        if score_shield:
+            # One fresh front end per packet: random channels,
+            # probe-quality estimates, antidote engaged -- drawn for the
+            # whole block at once.
+            effective = batch_effective_jam_gains(
+                self.config, self.rng, n_packets, use_digital=use_digital
+            )
+            jam_tx = _rows_scaled_to_power(jam, powers["p_jam_tx"])
+            external = _rows_scaled_to_power(
+                clean * self._random_phases(n_packets)[:, None],
+                powers["p_imd_shield"],
+            )
+            shield_rx = jam_tx * effective[:, None] + external
+            shield_rx = shield_rx + self._complex_noise(
+                shield_rx.shape, powers["noise"]
+            )
+            shield_bits = self.demodulator.demodulate_batch(
+                shield_rx, n_bits=bits.shape[1]
+            )
+            shield_errors = np.sum(shield_bits != bits, axis=1)
+            shield_lost = shield_errors > 0
+
+        if score_eavesdropper:
+            eve_signal = _rows_scaled_to_power(
+                clean * self._random_phases(n_packets)[:, None],
+                powers["p_imd_adv"],
+            )
+            eve_jam = _rows_scaled_to_power(
+                jam * self._random_phases(n_packets)[:, None], powers["p_jam_adv"]
+            )
+            mixed = eve_signal + eve_jam
+            mixed = mixed + self._complex_noise(mixed.shape, powers["noise"])
+            eve_bits = self._eavesdropper_decode_batch(
+                mixed, strategy, bits.shape[1]
+            )
+            eve_ber = np.mean(eve_bits != bits, axis=1)
+
+        return BatchTrialResult(
+            eavesdropper_ber=eve_ber,
+            shield_bit_errors=shield_errors,
+            shield_packet_lost=shield_lost,
+        )
+
+    def _complex_noise(self, shape: tuple[int, ...], power: float) -> np.ndarray:
+        """Complex AWGN matrix of the given total linear power.
+
+        One flat real draw viewed as complex: the per-sample pair of
+        normals lands in the real/imaginary parts without a second
+        generator pass.
+        """
+        if power < 0:
+            raise ValueError("noise power must be non-negative")
+        if power == 0:
+            return np.zeros(shape, dtype=np.complex128)
+        draws = self.rng.standard_normal(shape + (2,)).view(np.complex128)[..., 0]
+        draws *= np.sqrt(power / 2.0)
+        return draws
+
+    def _eavesdropper_decode_batch(
+        self, mixed: np.ndarray, strategy: DecodingStrategy, n_bits: int
+    ) -> np.ndarray:
+        """Decode a whole block at the eavesdropper.
+
+        The baseline treat-as-noise strategy is a no-op preprocess, so the
+        block goes straight to the batched envelope detector.  Any other
+        strategy -- including subclasses that override ``preprocess`` --
+        keeps its per-waveform preprocessing contract and runs row by row
+        before the batched demodulation.
+        """
+        if type(strategy) is not TreatJammingAsNoise:
+            rows = [
+                strategy.preprocess(
+                    Waveform(row, self.fsk.sample_rate), self.fsk
+                ).samples
+                for row in mixed
+            ]
+            mixed = np.stack(rows)
+        # Both receivers run the same optimal noncoherent detector.
+        return self.demodulator.demodulate_batch(mixed, n_bits=n_bits)
 
     # ------------------------------------------------------------------
     # Experiment sweeps
@@ -184,20 +474,19 @@ class PassiveLab:
         n_packets: int = 100,
         location_index: int = 1,
     ) -> list[TradeoffPoint]:
-        """Fig. 8: eavesdropper BER and shield PER vs. jamming power."""
+        """Fig. 8: eavesdropper BER and shield PER vs. jamming power.
+
+        One vectorized batch per margin replaces the former per-packet
+        loop.
+        """
         points = []
         for margin in margins_db:
-            bers = []
-            losses = 0
-            for _ in range(n_packets):
-                trial = self.run_trial(margin, location_index)
-                bers.append(trial.eavesdropper_ber)
-                losses += trial.shield_packet_lost
+            batch = self.run_batch(margin, n_packets, location_index)
             points.append(
                 TradeoffPoint(
                     jam_margin_db=float(margin),
-                    eavesdropper_ber=float(np.mean(bers)),
-                    shield_packet_loss=losses / n_packets,
+                    eavesdropper_ber=batch.mean_eavesdropper_ber(),
+                    shield_packet_loss=batch.shield_loss_rate(),
                 )
             )
         return points
@@ -208,18 +497,20 @@ class PassiveLab:
         n_packets: int = 60,
         location_indices: tuple[int, ...] | None = None,
     ) -> dict[int, float]:
-        """Fig. 9: eavesdropper BER at every testbed location."""
+        """Fig. 9: eavesdropper BER at every testbed location.
+
+        Each location is one vectorized pass over its whole trial block.
+        """
         if location_indices is None:
             location_indices = tuple(
                 loc.index for loc in self.budget.geometry.locations
             )
         out = {}
         for index in location_indices:
-            bers = [
-                self.run_trial(jam_margin_db, index).eavesdropper_ber
-                for _ in range(n_packets)
-            ]
-            out[index] = float(np.mean(bers))
+            batch = self.run_batch(
+                jam_margin_db, n_packets, index, score_shield=False
+            )
+            out[index] = batch.mean_eavesdropper_ber()
         return out
 
     def shield_loss_runs(
@@ -229,14 +520,12 @@ class PassiveLab:
         packets_per_run: int = 120,
     ) -> list[float]:
         """Fig. 10: per-run packet loss rates at the decoding shield."""
-        rates = []
-        for _ in range(n_runs):
-            losses = sum(
-                self.run_trial(jam_margin_db).shield_packet_lost
-                for _ in range(packets_per_run)
-            )
-            rates.append(losses / packets_per_run)
-        return rates
+        return [
+            self.run_batch(
+                jam_margin_db, packets_per_run, score_eavesdropper=False
+            ).shield_loss_rate()
+            for _ in range(n_runs)
+        ]
 
 
 def cancellation_samples(

@@ -25,6 +25,7 @@ jamming-detection logic.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -81,15 +82,33 @@ class FSKConfig:
         return n_bits * self.samples_per_bit
 
 
+@lru_cache(maxsize=64)
 def _tone_templates(config: FSKConfig) -> tuple[np.ndarray, np.ndarray]:
-    """Unit-amplitude one-bit tone templates at f0 and f1."""
+    """Unit-amplitude one-bit tone templates at f0 and f1.
+
+    Cached per config: experiments construct modulators/demodulators per
+    trial, and the ``np.exp`` synthesis would otherwise dominate their
+    setup cost.  The returned arrays are read-only shared state.
+    """
     n = config.samples_per_bit
     t = np.arange(n) / config.sample_rate
     f0, f1 = config.tone_frequencies()
-    return (
-        np.exp(2j * np.pi * f0 * t),
-        np.exp(2j * np.pi * f1 * t),
-    )
+    template0 = np.exp(2j * np.pi * f0 * t)
+    template1 = np.exp(2j * np.pi * f1 * t)
+    template0.setflags(write=False)
+    template1.setflags(write=False)
+    return template0, template1
+
+
+@lru_cache(maxsize=64)
+def _tone_matrix(config: FSKConfig) -> np.ndarray:
+    """Conjugated tone templates stacked as a ``(samples_per_bit, 2)``
+    correlator matrix, so a whole batch of bit intervals demodulates as
+    one matmul."""
+    template0, template1 = _tone_templates(config)
+    matrix = np.conj(np.stack([template0, template1], axis=1))
+    matrix.setflags(write=False)
+    return matrix
 
 
 class FSKModulator:
@@ -119,6 +138,29 @@ class FSKModulator:
         phase = np.cumsum(phase_steps) - phase_steps  # phase at sample start
         return Waveform(amplitude * np.exp(1j * phase), cfg.sample_rate)
 
+    def modulate_batch(
+        self, bits: np.ndarray, amplitude: float = 1.0
+    ) -> np.ndarray:
+        """Modulate many bit sequences at once.
+
+        ``bits`` is ``(n_packets, n_bits)``; the result is the complex
+        sample matrix ``(n_packets, n_bits * samples_per_bit)``.  Each row
+        equals :meth:`modulate` of that row's bits -- the batched sweeps
+        rely on this row-for-row equivalence.
+        """
+        bits = np.asarray(bits, dtype=np.int64)
+        if bits.ndim != 2:
+            raise ValueError("modulate_batch expects a (n_packets, n_bits) array")
+        if bits.size and not np.all((bits == 0) | (bits == 1)):
+            raise ValueError("bits must contain only 0s and 1s")
+        cfg = self.config
+        spb = cfg.samples_per_bit
+        freqs = (2.0 * bits - 1.0) * cfg.deviation_hz
+        per_sample = np.repeat(freqs, spb, axis=1)
+        phase_steps = 2.0 * np.pi * per_sample / cfg.sample_rate
+        phase = np.cumsum(phase_steps, axis=1) - phase_steps
+        return amplitude * np.exp(1j * phase)
+
 
 class NoncoherentFSKDemodulator:
     """Optimal noncoherent (envelope) detector for binary FSK.
@@ -131,6 +173,7 @@ class NoncoherentFSKDemodulator:
     def __init__(self, config: FSKConfig | None = None):
         self.config = config or FSKConfig()
         self._template0, self._template1 = _tone_templates(self.config)
+        self._correlators = _tone_matrix(self.config)
 
     def demodulate(self, waveform: Waveform, n_bits: int | None = None) -> np.ndarray:
         """Hard-decision bits from a received waveform."""
@@ -157,9 +200,41 @@ class NoncoherentFSKDemodulator:
                 f"waveform holds only {available} bits, {n_bits} requested"
             )
         chunks = waveform.samples[: n_bits * spb].reshape(n_bits, spb)
-        corr0 = chunks @ np.conj(self._template0)
-        corr1 = chunks @ np.conj(self._template1)
-        return np.abs(corr0), np.abs(corr1)
+        magnitudes = np.abs(chunks @ self._correlators)
+        return magnitudes[:, 0], magnitudes[:, 1]
+
+    def demodulate_batch(
+        self, samples: np.ndarray, n_bits: int | None = None
+    ) -> np.ndarray:
+        """Hard-decision bits for a whole batch of received packets.
+
+        ``samples`` is ``(n_packets, n_samples)``; the result is
+        ``(n_packets, n_bits)``.  The entire batch correlates against the
+        tone templates in a single reshape + matmul -- the per-packet
+        envelope-detector loop the batched sweeps replace.
+        """
+        mag0, mag1 = self.envelopes_batch(samples, n_bits)
+        return (mag1 > mag0).astype(np.int64)
+
+    def envelopes_batch(
+        self, samples: np.ndarray, n_bits: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-bit envelopes for a ``(n_packets, n_samples)`` batch."""
+        samples = np.asarray(samples, dtype=np.complex128)
+        if samples.ndim != 2:
+            raise ValueError("envelopes_batch expects a (n_packets, n_samples) array")
+        spb = self.config.samples_per_bit
+        n_packets, n_samples = samples.shape
+        available = n_samples // spb
+        if n_bits is None:
+            n_bits = available
+        if n_bits > available:
+            raise ValueError(
+                f"waveforms hold only {available} bits, {n_bits} requested"
+            )
+        chunks = samples[:, : n_bits * spb].reshape(n_packets * n_bits, spb)
+        magnitudes = np.abs(chunks @ self._correlators).reshape(n_packets, n_bits, 2)
+        return magnitudes[:, :, 0], magnitudes[:, :, 1]
 
     def bit_error_rate(
         self, waveform: Waveform, reference_bits: np.ndarray | list[int]
@@ -182,15 +257,48 @@ class CoherentFSKDemodulator:
         self.config = config or FSKConfig()
 
     def demodulate(self, waveform: Waveform, n_bits: int | None = None) -> np.ndarray:
-        cfg = self.config
-        spb = cfg.samples_per_bit
-        available = len(waveform) // spb
+        n_bits = self._resolve_bit_count(waveform, n_bits)
+        # Per-bit phase accumulation: the modulator adds
+        # ``2*pi*(+/-deviation)*T_bit = +/-pi*h`` per bit (h = modulation
+        # index).  For integer h the two signs coincide modulo 2*pi, so the
+        # accumulated phase is closed-form in the bit index and the whole
+        # packet demodulates as one reshape + matmul.  Non-integer h keeps
+        # the decision-feedback loop.
+        h = self.config.modulation_index
+        if abs(h - round(h)) < 1e-9:
+            return self._demodulate_vectorized(waveform, n_bits, int(round(h)))
+        return self._demodulate_loop(waveform, n_bits)
+
+    def _resolve_bit_count(self, waveform: Waveform, n_bits: int | None) -> int:
+        available = len(waveform) // self.config.samples_per_bit
         if n_bits is None:
             n_bits = available
         if n_bits > available:
             raise ValueError(
                 f"waveform holds only {available} bits, {n_bits} requested"
             )
+        return n_bits
+
+    def _demodulate_vectorized(
+        self, waveform: Waveform, n_bits: int, h: int
+    ) -> np.ndarray:
+        spb = self.config.samples_per_bit
+        chunks = waveform.samples[: n_bits * spb].reshape(n_bits, spb)
+        correlations = chunks @ _tone_matrix(self.config)
+        # Phase at the start of bit i is i*pi*h (mod 2*pi): the conjugated
+        # reference contributes exp(-1j * pi * h * i) to each correlation.
+        rotation = np.exp(-1j * np.pi * h * np.arange(n_bits))
+        metrics = np.real(correlations * rotation[:, None])
+        return (metrics[:, 1] > metrics[:, 0]).astype(np.int64)
+
+    def _demodulate_loop(
+        self, waveform: Waveform, n_bits: int | None = None
+    ) -> np.ndarray:
+        """Decision-feedback reference implementation (kept as the ground
+        truth the vectorized path is pinned against)."""
+        cfg = self.config
+        spb = cfg.samples_per_bit
+        n_bits = self._resolve_bit_count(waveform, n_bits)
         # Rebuild the continuous-phase templates for each hypothesis bit by
         # tracking the phase the modulator would have accumulated.  For a
         # per-bit genie detector we approximate with phase-aligned tones.

@@ -190,8 +190,8 @@ class IMDevice:
         record = bytearray(n)
         record[0] = self.therapy.pacing_rate_bpm & 0xFF
         record[1] = self.therapy.shock_energy_j & 0xFF
-        for i in range(2, n):
-            record[i] = int(self.rng.integers(0, 256))
+        if n > 2:
+            record[2:] = self.rng.integers(0, 256, size=n - 2, dtype=np.uint8).tobytes()
         return bytes(record)
 
     def _draw_reply_delay(self) -> float:

@@ -101,9 +101,13 @@ class PacketCodec:
         min_bits = n_pre + 8 * (1 + SERIAL_LENGTH + 3 + 2)
         if len(bits) < min_bits:
             raise DecodeError(f"truncated packet: {len(bits)} bits")
-        frame_bits = bits[n_pre:]
-        usable = (len(frame_bits) // 8) * 8
-        frame = bits_to_bytes(frame_bits[:usable])
+        frame_bits = bits[n_pre:][: (len(bits) - n_pre) // 8 * 8]
+        # packbits would silently binarise stray values; keep the old
+        # contract that non-binary input is an error (min/max scans are
+        # far cheaper than bits_to_bytes' full validation pass).
+        if frame_bits.size and (frame_bits.min() < 0 or frame_bits.max() > 1):
+            raise DecodeError("bit vector must contain only 0s and 1s")
+        frame = np.packbits(frame_bits.astype(np.uint8)).tobytes()
         if frame[0] != self.sync_byte:
             raise DecodeError(f"bad sync byte 0x{frame[0]:02x}")
         serial = frame[1 : 1 + SERIAL_LENGTH]

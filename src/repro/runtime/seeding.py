@@ -1,0 +1,63 @@
+"""Deterministic RNG streams for sharded Monte-Carlo work.
+
+The contract every sweep in this repo relies on: a work unit's random
+stream depends only on the sweep's root seed and the unit's position in
+the deterministic work plan -- never on which worker ran it or in what
+order.  :class:`numpy.random.SeedSequence` gives exactly that: spawning
+children of a root sequence yields independent, reproducible streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["chunk_sizes", "spawn_rngs", "spawn_seed_sequences", "unit_seed_sequence"]
+
+
+def unit_seed_sequence(
+    root_seed: int, spawn_key: tuple[int, ...]
+) -> np.random.SeedSequence:
+    """The seed sequence of one work unit of a sweep.
+
+    ``spawn_key`` is the unit's coordinates in the work plan (e.g.
+    ``(location_index, chunk_index)``); two distinct keys give
+    statistically independent streams, and the same key always gives the
+    same stream regardless of worker count or execution order.
+    """
+    return np.random.SeedSequence(root_seed, spawn_key=spawn_key)
+
+
+def spawn_seed_sequences(
+    root: int | np.random.SeedSequence, n: int
+) -> list[np.random.SeedSequence]:
+    """``n`` independent child sequences of a root seed."""
+    if n < 0:
+        raise ValueError("cannot spawn a negative number of streams")
+    if not isinstance(root, np.random.SeedSequence):
+        root = np.random.SeedSequence(root)
+    return root.spawn(n)
+
+
+def spawn_rngs(root: int | np.random.SeedSequence, n: int) -> list[np.random.Generator]:
+    """``n`` independent generators, one per trial/work unit."""
+    return [np.random.default_rng(ss) for ss in spawn_seed_sequences(root, n)]
+
+
+def chunk_sizes(n_trials: int, chunk_size: int | None) -> list[int]:
+    """Split ``n_trials`` into the per-chunk trial counts of the work plan.
+
+    ``chunk_size=None`` keeps the whole trial block as one unit (the
+    per-location granularity the figure sweeps parallelise over); any
+    other value shards trials so one location's block can itself spread
+    across workers.
+    """
+    if n_trials < 0:
+        raise ValueError("n_trials cannot be negative")
+    if chunk_size is None or chunk_size >= n_trials:
+        return [n_trials] if n_trials else []
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    sizes = [chunk_size] * (n_trials // chunk_size)
+    if n_trials % chunk_size:
+        sizes.append(n_trials % chunk_size)
+    return sizes

@@ -59,7 +59,7 @@ class LinkModel(abc.ABC):
         """Receiver noise floor at a device."""
 
 
-@dataclass
+@dataclass(slots=True)
 class AirTransmission:
     """One on-air transmission.  ``end_time`` is None while open-ended
     (reactive jamming keeps transmitting until told to stop)."""
@@ -99,7 +99,7 @@ class AirTransmission:
         return lo, hi
 
 
-@dataclass
+@dataclass(slots=True)
 class Reception:
     """The outcome of decoding one transmission at one receiver."""
 
@@ -128,7 +128,17 @@ class Air:
         self._devices: dict[str, "object"] = {}
         self._transmissions: list[AirTransmission] = []
         self._tx_counter = itertools.count()
+        # Per-(transmission, receiver) RSSI, fading draw included.
         self._fading_cache: dict[tuple[int, str], float] = {}
+        # Interference scans only ever need transmissions that can still
+        # overlap a live reception window, so the air keeps a pruned
+        # working set alongside the append-only history.  ``_prune_before``
+        # is the guarantee: every transmission ending at or before it has
+        # been dropped from ``_recent``.  Without this, a long Monte-Carlo
+        # sweep rescans its whole history on every reception (O(trials^2)).
+        self._recent: list[AirTransmission] = []
+        self._prune_before = 0.0
+        self._counts: dict[tuple[str, str], int] = {}
 
     # ------------------------------------------------------------------
     # Device registry
@@ -185,6 +195,10 @@ class Air:
             meta=meta or {},
         )
         self._transmissions.append(tx)
+        self._prune_recent(now)
+        self._recent.append(tx)
+        key = (source, tx.kind)
+        self._counts[key] = self._counts.get(key, 0) + 1
         self._notify("on_transmission_start", tx)
         if tx.end_time is not None:
             self.simulator.schedule_at(
@@ -209,6 +223,30 @@ class Air:
                 continue
             getattr(device, method)(tx)
 
+    def _prune_recent(self, now: float) -> None:
+        """Drop transmissions that can no longer matter from the working
+        set.
+
+        A future reception window always starts at the ``start_time`` of
+        a transmission still in flight (receptions are evaluated at
+        transmission end), so anything ending at or before the earliest
+        in-flight start can never be scanned again.  Historical
+        transmissions stay reachable through ``_transmissions`` for
+        introspection and post-hoc ``receive`` calls.
+        """
+        threshold = now
+        for tx in self._recent:
+            if (tx.end_time is None or tx.end_time > now) and tx.start_time < threshold:
+                threshold = tx.start_time
+        if threshold <= self._prune_before:
+            return
+        self._recent = [
+            tx
+            for tx in self._recent
+            if tx.end_time is None or tx.end_time > threshold
+        ]
+        self._prune_before = threshold
+
     # ------------------------------------------------------------------
     # Sensing
     # ------------------------------------------------------------------
@@ -217,24 +255,30 @@ class Air:
         self, channel: int, at_time: float | None = None
     ) -> list[AirTransmission]:
         t = self.simulator.now if at_time is None else at_time
-        return [
-            tx
-            for tx in self._transmissions
-            if tx.channel == channel and tx.is_active_at(t)
-        ]
+        # Anything active at t >= the prune watermark is still in the
+        # working set; only queries about the deep past need the history.
+        pool = self._recent if t >= self._prune_before else self._transmissions
+        return [tx for tx in pool if tx.channel == channel and tx.is_active_at(t)]
 
     def channel_busy(self, channel: int, at_time: float | None = None) -> bool:
         return bool(self.active_transmissions(channel, at_time))
 
     def rssi_dbm(self, tx: AirTransmission, receiver: str) -> float:
-        """Received power of one transmission at one device (with fading)."""
+        """Received power of one transmission at one device (with fading).
+
+        The fading draw *and* the resulting RSSI are cached per
+        (transmission, receiver): interference scans re-ask for the same
+        links many times per reception.
+        """
         key = (tx.id, receiver)
-        if key not in self._fading_cache:
-            self._fading_cache[key] = self.links.fading_db(
-                tx.source, receiver, self.rng
-            )
-        mean = self.links.mean_rx_power_dbm(tx.source, receiver, tx.tx_power_dbm)
-        return mean + self._fading_cache[key]
+        cached = self._fading_cache.get(key)
+        if cached is not None:
+            return cached
+        rssi = self.links.mean_rx_power_dbm(
+            tx.source, receiver, tx.tx_power_dbm
+        ) + self.links.fading_db(tx.source, receiver, self.rng)
+        self._fading_cache[key] = rssi
+        return rssi
 
     # ------------------------------------------------------------------
     # Reception
@@ -268,8 +312,8 @@ class Air:
             receiver=receiver,
             bits=bits,
             rssi_dbm=signal_dbm,
-            mean_sinr_db=float(np.mean(sinr_values)),
-            min_sinr_db=float(np.min(sinr_values)),
+            mean_sinr_db=sum(sinr_values) / len(sinr_values),
+            min_sinr_db=min(sinr_values),
             bit_flips=flips,
             segments=segments,
         )
@@ -291,13 +335,24 @@ class Air:
     ) -> list[tuple[float, float, float]]:
         """Constant-interference intervals of [tx.start, window_end)."""
         signal_dbm = self.rssi_dbm(tx, receiver)
+        # Windows starting at or after the prune watermark can only
+        # overlap transmissions still in the working set (see
+        # _prune_recent); older windows fall back to the full history.
+        pool = (
+            self._recent
+            if tx.start_time >= self._prune_before
+            else self._transmissions
+        )
         others = [
             o
-            for o in self._transmissions
+            for o in pool
             if o.id != tx.id
             and o.channel == tx.channel
             and o.overlap(tx.start_time, window_end) is not None
         ]
+        if not others:
+            # Clean channel: one segment at the thermal-noise SINR.
+            return [(tx.start_time, window_end, signal_dbm - noise_dbm)]
         boundaries = {tx.start_time, window_end}
         for o in others:
             lo, hi = o.overlap(tx.start_time, window_end)
@@ -349,18 +404,35 @@ class Air:
         n_window = int(round((window_end - tx.start_time) * tx.bit_rate))
         n_window = min(n_window, tx.n_bits)
         bits = tx.bits[:n_window].copy()
-        midpoints = tx.start_time + (np.arange(n_window) + 0.5) / tx.bit_rate
+        start = tx.start_time
+        rate = tx.bit_rate
         flips_total = 0
         for lo, hi, sinr_db in segments:
-            mask = (midpoints >= lo) & (midpoints < hi)
-            count = int(mask.sum())
-            if count == 0:
+            # Bits whose midpoints fall in [lo, hi) form a contiguous
+            # index range -- no per-bit masking needed.
+            i0 = max(math.ceil((lo - start) * rate - 0.5), 0)
+            i1 = min(math.ceil((hi - start) * rate - 0.5), n_window)
+            count = i1 - i0
+            if count <= 0:
                 continue
             ber = noncoherent_fsk_ber(sinr_db)
-            flips = self.rng.random(count) < ber
-            idx = np.nonzero(mask)[0][flips]
-            bits[idx] = 1 - bits[idx]
-            flips_total += int(flips.sum())
+            if ber * count < 16.0:
+                # Sample the flip *count* first (binomial), then
+                # positions.  At the high SINRs that dominate a sweep the
+                # count is almost always zero, so the common case costs
+                # two scalar draws instead of a per-bit uniform vector.
+                flip_count = int(self.rng.binomial(count, ber)) if ber > 0 else 0
+                if flip_count:
+                    idx = i0 + self.rng.choice(
+                        count, size=flip_count, replace=False
+                    )
+                    bits[idx] = 1 - bits[idx]
+                flips_total += flip_count
+            else:
+                flips = self.rng.random(count) < ber
+                segment_bits = bits[i0:i1]
+                segment_bits[flips] = 1 - segment_bits[flips]
+                flips_total += int(np.count_nonzero(flips))
         return bits, flips_total
 
     # ------------------------------------------------------------------
@@ -378,3 +450,16 @@ class Air:
             for tx in self._transmissions
             if tx.source == source and (kind is None or tx.kind == kind)
         ]
+
+    def transmission_count(self, source: str, kind: str | None = None) -> int:
+        """How many transmissions a device has made (O(1) counters).
+
+        Trial loops poll this between attacks; counting through
+        :meth:`transmissions_by` would rescan the whole history each
+        time.
+        """
+        if kind is not None:
+            return self._counts.get((source, kind), 0)
+        return sum(
+            count for (src, _), count in self._counts.items() if src == source
+        )

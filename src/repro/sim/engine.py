@@ -17,7 +17,7 @@ from typing import Callable
 __all__ = ["Event", "Simulator"]
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A scheduled callback; compare by (time, sequence)."""
 
@@ -26,10 +26,20 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     name: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    # Set by the simulator so cancellation keeps its live-event counter
+    # exact without rescanning the heap.
+    _on_cancel: Callable[[], None] | None = field(
+        compare=False, default=None, repr=False
+    )
+    _done: bool = field(compare=False, default=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event dead; it will be skipped when popped."""
+        if self.cancelled or self._done:
+            return
         self.cancelled = True
+        if self._on_cancel is not None:
+            self._on_cancel()
 
 
 class Simulator:
@@ -40,6 +50,7 @@ class Simulator:
         self._counter = itertools.count()
         self._now = 0.0
         self._processed = 0
+        self._live = 0
 
     @property
     def now(self) -> float:
@@ -67,8 +78,13 @@ class Simulator:
                 f"cannot schedule at {time} before current time {self._now}"
             )
         event = Event(time, next(self._counter), callback, name)
+        event._on_cancel = self._on_event_cancelled
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
+
+    def _on_event_cancelled(self) -> None:
+        self._live -= 1
 
     def run(self, until: float | None = None) -> None:
         """Process events until the queue empties or ``until`` is reached.
@@ -83,7 +99,10 @@ class Simulator:
                 break
             heapq.heappop(self._heap)
             if event.cancelled:
+                event._done = True
                 continue
+            event._done = True
+            self._live -= 1
             self._now = event.time
             self._processed += 1
             event.callback()
@@ -91,5 +110,10 @@ class Simulator:
             self._now = until
 
     def pending(self) -> int:
-        """Number of live events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of live events still queued.
+
+        Maintained as a counter (incremented on schedule, decremented on
+        run or cancel) so introspection stays O(1) however deep the heap
+        grows over a long sweep.
+        """
+        return self._live

@@ -83,3 +83,89 @@ class TestShapedJammer:
         jammer = ShapedJammer(profile, 600e3, rng=rng)
         with pytest.raises(ValueError):
             jammer.generate(1024)
+
+
+class TestBatchedJamming:
+    def test_batch_rows_hit_power_budget(self, rng):
+        jammer = ShapedJammer.matched_to_fsk(50e3, 100e3, 600e3, rng=rng)
+        batch = jammer.generate_batch(5, 4096, power=2.5)
+        assert batch.shape == (5, 4096)
+        row_power = np.mean(np.abs(batch) ** 2, axis=1)
+        assert np.allclose(row_power, 2.5)
+
+    def test_batch_rows_are_independent(self, rng):
+        jammer = ShapedJammer.matched_to_fsk(50e3, 100e3, 600e3, rng=rng)
+        batch = jammer.generate_batch(2, 2048)
+        assert not np.allclose(batch[0], batch[1])
+
+    def test_batch_validation(self, rng):
+        jammer = ShapedJammer.matched_to_fsk(50e3, 100e3, 600e3, rng=rng)
+        with pytest.raises(ValueError):
+            jammer.generate_batch(0, 128)
+        with pytest.raises(ValueError):
+            jammer.generate_batch(1, 128, power=0.0)
+
+    def test_spectral_scale_cached_per_length(self, rng):
+        jammer = ShapedJammer.matched_to_fsk(50e3, 100e3, 600e3, rng=rng)
+        jammer.generate(512)
+        jammer.generate(512)
+        assert set(jammer._scale_cache) == {512}
+
+
+class TestToneCorrelationBatch:
+    """The correlation-domain fast path must match the statistics of
+    correlating really generated jams."""
+
+    def test_moments_match_empirical(self):
+        from repro.phy.fsk import FSKConfig, NoncoherentFSKDemodulator
+
+        fsk = FSKConfig()
+        rng = np.random.default_rng(99)
+        jammer = ShapedJammer.matched_to_fsk(50e3, 100e3, 600e3, rng=rng)
+        n_bits, count = 32, 1500
+        spb = fsk.samples_per_bit
+        demod = NoncoherentFSKDemodulator(fsk)
+        templates = np.conj(np.stack([demod._template0, demod._template1], axis=1))
+        jams = jammer.generate_batch(count, n_bits * spb, power=1.0)
+        empirical = (jams.reshape(count * n_bits, spb) @ templates).reshape(
+            count, n_bits, 2
+        )
+        synthetic = jammer.tone_correlation_batch(count, fsk, n_bits, power=1.0)
+        assert synthetic.shape == (count, n_bits, 2)
+        # Per-tone variance, cross-tone covariance, lag-1 autocovariance.
+        for tone in (0, 1):
+            assert np.var(synthetic[:, :, tone]) == pytest.approx(
+                np.var(empirical[:, :, tone]), rel=0.1
+            )
+        emp_cross = np.mean(empirical[:, :, 0] * np.conj(empirical[:, :, 1]))
+        syn_cross = np.mean(synthetic[:, :, 0] * np.conj(synthetic[:, :, 1]))
+        assert abs(emp_cross - syn_cross) < 0.15 * np.var(empirical[:, :, 0])
+        emp_lag = np.mean(empirical[:, 1:, 0] * np.conj(empirical[:, :-1, 0]))
+        syn_lag = np.mean(synthetic[:, 1:, 0] * np.conj(synthetic[:, :-1, 0]))
+        assert abs(emp_lag - syn_lag) < 0.15 * np.var(empirical[:, :, 0])
+
+    def test_power_scaling(self):
+        from repro.phy.fsk import FSKConfig
+
+        fsk = FSKConfig()
+        rng = np.random.default_rng(5)
+        jammer = ShapedJammer.matched_to_fsk(50e3, 100e3, 600e3, rng=rng)
+        base = jammer.tone_correlation_batch(400, fsk, 16, power=1.0)
+        strong = jammer.tone_correlation_batch(400, fsk, 16, power=4.0)
+        assert np.var(strong) == pytest.approx(4.0 * np.var(base), rel=0.15)
+
+    def test_rejects_mismatched_sample_rate(self):
+        from repro.phy.fsk import FSKConfig
+
+        jammer = ShapedJammer.matched_to_fsk(50e3, 100e3, 600e3)
+        with pytest.raises(ValueError):
+            jammer.tone_correlation_batch(1, FSKConfig(sample_rate=1.2e6), 8)
+
+    def test_factors_cached(self):
+        from repro.phy.fsk import FSKConfig
+
+        fsk = FSKConfig()
+        jammer = ShapedJammer.matched_to_fsk(50e3, 100e3, 600e3)
+        jammer.tone_correlation_batch(1, fsk, 16)
+        jammer.tone_correlation_batch(1, fsk, 16)
+        assert list(jammer._correlation_cache) == [(fsk, 16)]

@@ -181,3 +181,129 @@ class TestWaveformLab:
         out = lab.ber_by_location(n_packets=6, location_indices=(1, 9, 18))
         for ber in out.values():
             assert ber > 0.4
+
+
+class TestBatchedLab:
+    def test_batch_shapes_and_types(self):
+        lab = PassiveLab(seed=10)
+        batch = lab.run_batch(20.0, n_packets=8)
+        assert batch.n_packets == 8
+        assert batch.eavesdropper_ber.shape == (8,)
+        assert batch.shield_bit_errors.shape == (8,)
+        assert batch.shield_packet_lost.dtype == bool
+        trials = batch.trials()
+        assert len(trials) == 8
+
+    def test_batch_statistics_match_operating_point(self):
+        lab = PassiveLab(seed=11)
+        batch = lab.run_batch(20.0, n_packets=30)
+        assert batch.mean_eavesdropper_ber() > 0.4
+        assert batch.shield_loss_rate() < 0.2
+
+    def test_batch_no_jamming_reads_everything(self):
+        lab = PassiveLab(seed=12)
+        batch = lab.run_batch(-40.0, n_packets=6)
+        assert batch.mean_eavesdropper_ber() < 0.01
+
+    def test_correlation_and_sample_paths_agree(self):
+        """The sufficient-statistic fast path and the sample-level batch
+        must describe the same experiment."""
+        margins = {}
+        for name, force_samples in (("corr", False), ("samples", True)):
+            lab = PassiveLab(seed=13)
+            powers = lab._link_powers(20.0, 1)
+            if force_samples:
+                from repro.adversary.strategies import TreatJammingAsNoise
+
+                batch = lab._run_batch_samples(
+                    60, powers, TreatJammingAsNoise(), lab.jammer, True
+                )
+            else:
+                batch = lab._run_batch_correlations(
+                    60, powers, lab.jammer, True, True, True
+                )
+            margins[name] = batch.mean_eavesdropper_ber()
+        assert margins["corr"] == pytest.approx(margins["samples"], abs=0.05)
+
+    def test_score_flags_skip_sides(self):
+        lab = PassiveLab(seed=14)
+        eve_only = lab.run_batch(20.0, n_packets=4, score_shield=False)
+        assert eve_only.shield_bit_errors is None
+        assert eve_only.eavesdropper_ber is not None
+        with pytest.raises(ValueError):
+            eve_only.shield_loss_rate()
+        shield_only = lab.run_batch(20.0, n_packets=4, score_eavesdropper=False)
+        assert shield_only.eavesdropper_ber is None
+        with pytest.raises(ValueError):
+            shield_only.mean_eavesdropper_ber()
+        with pytest.raises(ValueError):
+            lab.run_batch(
+                20.0, n_packets=4, score_shield=False, score_eavesdropper=False
+            )
+
+    def test_nondefault_strategy_uses_sample_path(self):
+        from repro.adversary.strategies import FilterBankStrategy
+
+        lab = PassiveLab(seed=15)
+        assert not lab._correlation_path_ok(FilterBankStrategy(), lab.jammer)
+        batch = lab.run_batch(0.0, n_packets=3, strategy=FilterBankStrategy())
+        assert batch.n_packets == 3
+
+    def test_strategy_subclass_preprocess_is_honored(self):
+        """A TreatJammingAsNoise subclass overriding preprocess() must not
+        be silently skipped by the batch fast path."""
+        from repro.adversary.strategies import TreatJammingAsNoise
+        from repro.phy.signal import Waveform as _Waveform
+
+        class Nulling(TreatJammingAsNoise):
+            def preprocess(self, waveform, config):
+                return _Waveform(
+                    np.zeros_like(waveform.samples), waveform.sample_rate
+                )
+
+        lab = PassiveLab(seed=18)
+        batch = lab.run_batch(
+            -40.0, n_packets=5, strategy=Nulling(), score_shield=False
+        )
+        # A nulled waveform decodes to all zeros, so the BER equals the
+        # ones-density of the packet (~8%); an honored no-op decode at
+        # -40 dB jamming would be < 1% (see
+        # test_batch_no_jamming_reads_everything).
+        assert batch.mean_eavesdropper_ber() > 0.05
+
+    def test_batch_is_deterministic_per_seed(self):
+        a = PassiveLab(seed=16).run_batch(20.0, n_packets=5)
+        b = PassiveLab(seed=16).run_batch(20.0, n_packets=5)
+        assert np.array_equal(a.eavesdropper_ber, b.eavesdropper_ber)
+        assert np.array_equal(a.shield_bit_errors, b.shield_bit_errors)
+
+    def test_run_trial_is_batch_of_one(self):
+        lab = PassiveLab(seed=17)
+        trial = lab.run_trial(20.0)
+        assert 0.0 <= trial.eavesdropper_ber <= 1.0
+        assert trial.shield_packet_lost == (trial.shield_bit_errors > 0)
+
+
+class TestSweepObserverToggle:
+    def test_observer_disabled_testbed_still_attacks(self):
+        bed = AttackTestbed(
+            location_index=1, shield_present=False, seed=3, observer_enabled=False
+        )
+        assert bed.observer is None
+        outcome = bed.attack_once(bed.interrogate_packet())
+        assert outcome.imd_responded
+
+    def test_observer_default_present(self):
+        bed = AttackTestbed(location_index=1, seed=3)
+        assert bed.observer is not None
+
+    def test_seed_sequence_accepted(self):
+        import numpy as _np
+
+        ss = _np.random.SeedSequence(42, spawn_key=(1, 0))
+        bed_a = AttackTestbed(location_index=1, shield_present=False, seed=ss)
+        out_a = [bed_a.attack_once(bed_a.interrogate_packet()) for _ in range(3)]
+        ss2 = _np.random.SeedSequence(42, spawn_key=(1, 0))
+        bed_b = AttackTestbed(location_index=1, shield_present=False, seed=ss2)
+        out_b = [bed_b.attack_once(bed_b.interrogate_packet()) for _ in range(3)]
+        assert out_a == out_b

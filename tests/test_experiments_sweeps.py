@@ -52,3 +52,65 @@ class TestAttackSuccessSweep:
             shield_present=True, n_trials=6, location_indices=(1,), seed=7
         )
         assert results[1].alarm_probability == 1.0
+
+
+class TestSweepExecution:
+    def test_parallel_equals_serial_whole_location(self):
+        kwargs = dict(
+            shield_present=False, n_trials=6, location_indices=(1, 8), seed=3
+        )
+        serial = attack_success_sweep(workers=1, **kwargs)
+        parallel = attack_success_sweep(workers=2, **kwargs)
+        assert serial == parallel
+
+    def test_parallel_equals_serial_chunked(self):
+        kwargs = dict(
+            shield_present=False,
+            n_trials=9,
+            location_indices=(1, 2),
+            seed=3,
+            chunk_size=4,
+        )
+        serial = attack_success_sweep(workers=1, **kwargs)
+        parallel = attack_success_sweep(workers=3, **kwargs)
+        assert serial == parallel
+
+    def test_chunked_run_is_deterministic(self):
+        kwargs = dict(
+            shield_present=False,
+            n_trials=8,
+            location_indices=(2,),
+            seed=11,
+            chunk_size=3,
+        )
+        assert attack_success_sweep(**kwargs) == attack_success_sweep(**kwargs)
+
+    def test_workers_env_opt_in(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        env_run = attack_success_sweep(
+            shield_present=False, n_trials=4, location_indices=(1,), seed=3
+        )
+        monkeypatch.delenv("REPRO_WORKERS")
+        serial = attack_success_sweep(
+            shield_present=False, n_trials=4, location_indices=(1,), seed=3
+        )
+        assert env_run == serial
+
+    def test_rejects_unknown_command(self):
+        with pytest.raises(ValueError):
+            attack_success_sweep(
+                shield_present=False,
+                n_trials=2,
+                command="explode",
+                location_indices=(1,),
+            )
+
+    def test_duplicate_locations_collapse(self):
+        doubled = attack_success_sweep(
+            shield_present=False, n_trials=5, location_indices=(1, 1), seed=0
+        )
+        single = attack_success_sweep(
+            shield_present=False, n_trials=5, location_indices=(1,), seed=0
+        )
+        assert doubled == single
+        assert doubled[1].success_probability <= 1.0

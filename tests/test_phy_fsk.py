@@ -156,3 +156,107 @@ class TestCoherentDemodulator:
         coh = np.mean(CoherentFSKDemodulator().demodulate(noisy) != bits)
         noncoh = np.mean(NoncoherentFSKDemodulator().demodulate(noisy) != bits)
         assert coh <= noncoh + 0.01
+
+
+class TestBatchedModulation:
+    def test_rows_match_single_modulation(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, size=(5, 32))
+        mod = FSKModulator()
+        batch = mod.modulate_batch(bits, amplitude=0.7)
+        for row, row_bits in zip(batch, bits):
+            single = mod.modulate(row_bits, amplitude=0.7)
+            assert np.allclose(row, single.samples)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            FSKModulator().modulate_batch(np.zeros(8, dtype=int))
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            FSKModulator().modulate_batch(np.full((2, 4), 2))
+
+
+class TestBatchedDemodulation:
+    def test_rows_match_single_demodulation(self):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, size=(4, 64))
+        cfg = FSKConfig()
+        mod = FSKModulator(cfg)
+        demod = NoncoherentFSKDemodulator(cfg)
+        noisy = mod.modulate_batch(bits) + 0.3 * (
+            rng.standard_normal((4, 64 * 6)) + 1j * rng.standard_normal((4, 64 * 6))
+        )
+        batch = demod.demodulate_batch(noisy)
+        for row, decoded in zip(noisy, batch):
+            single = demod.demodulate(Waveform(row, cfg.sample_rate))
+            assert np.array_equal(decoded, single)
+
+    def test_recovers_clean_batch(self):
+        rng = np.random.default_rng(2)
+        bits = rng.integers(0, 2, size=(3, 40))
+        out = NoncoherentFSKDemodulator().demodulate_batch(
+            FSKModulator().modulate_batch(bits)
+        )
+        assert np.array_equal(out, bits)
+
+    def test_n_bits_limit_enforced(self):
+        batch = FSKModulator().modulate_batch(np.zeros((2, 4), dtype=int))
+        with pytest.raises(ValueError):
+            NoncoherentFSKDemodulator().demodulate_batch(batch, n_bits=5)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            NoncoherentFSKDemodulator().envelopes_batch(np.zeros(12))
+
+
+class TestCoherentVectorization:
+    """The closed-form phase path must pin against the decision-feedback
+    loop."""
+
+    @pytest.mark.parametrize(
+        "cfg",
+        [
+            FSKConfig(),  # h = 1, the Medtronic default
+            FSKConfig(bit_rate=50e3, deviation_hz=25e3, sample_rate=400e3),  # h=1
+            FSKConfig(bit_rate=50e3, deviation_hz=50e3, sample_rate=300e3),  # h=2
+        ],
+    )
+    def test_matches_loop_reference(self, cfg):
+        rng = np.random.default_rng(7)
+        bits = rng.integers(0, 2, size=96)
+        wave = FSKModulator(cfg).modulate(bits)
+        noisy = Waveform(
+            wave.samples
+            + 0.25
+            * (
+                rng.standard_normal(len(wave))
+                + 1j * rng.standard_normal(len(wave))
+            ),
+            cfg.sample_rate,
+        )
+        demod = CoherentFSKDemodulator(cfg)
+        assert np.array_equal(
+            demod.demodulate(noisy), demod._demodulate_loop(noisy)
+        )
+
+    def test_noninteger_index_uses_loop(self):
+        cfg = FSKConfig(bit_rate=100e3, deviation_hz=25e3, sample_rate=600e3)  # h=0.5
+        rng = np.random.default_rng(8)
+        bits = rng.integers(0, 2, size=32)
+        wave = FSKModulator(cfg).modulate(bits)
+        out = CoherentFSKDemodulator(cfg).demodulate(wave)
+        assert np.array_equal(out, bits)
+
+
+class TestTemplateCache:
+    def test_templates_shared_across_instances(self):
+        a = NoncoherentFSKDemodulator()
+        b = NoncoherentFSKDemodulator()
+        assert a._template0 is b._template0
+        assert a._correlators is b._correlators
+
+    def test_templates_read_only(self):
+        demod = NoncoherentFSKDemodulator()
+        with pytest.raises(ValueError):
+            demod._template0[0] = 0.0

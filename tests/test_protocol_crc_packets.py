@@ -161,3 +161,44 @@ class TestCodec:
     def test_sid_serial_length_checked(self, codec):
         with pytest.raises(ValueError):
             codec.identifying_sequence(b"abc")
+
+
+class TestTableDrivenCRC:
+    """The table path must agree with the bitwise reference everywhere."""
+
+    def test_property_table_matches_bitwise(self):
+        from repro.protocol.crc import _crc16_ccitt_bitwise
+
+        rng = np.random.default_rng(17)
+        for _ in range(200):
+            length = int(rng.integers(0, 64))
+            data = bytes(rng.integers(0, 256, size=length, dtype=np.uint8))
+            assert crc16_ccitt(data) == _crc16_ccitt_bitwise(data)
+
+    def test_batch_matches_scalar(self):
+        from repro.protocol.crc import crc16_bits_batch
+
+        rng = np.random.default_rng(23)
+        bits = rng.integers(0, 2, size=(20, 8 * 11))
+        batch = crc16_bits_batch(bits)
+        assert batch.dtype == np.uint16
+        for row, crc in zip(bits, batch):
+            assert int(crc) == crc16_bits(row)
+
+    def test_batch_rejects_ragged_length(self):
+        from repro.protocol.crc import crc16_bits_batch
+
+        with pytest.raises(ValueError):
+            crc16_bits_batch(np.zeros((2, 7), dtype=int))
+
+    def test_batch_rejects_non_binary(self):
+        from repro.protocol.crc import crc16_bits_batch
+
+        with pytest.raises(ValueError):
+            crc16_bits_batch(np.full((2, 8), 3))
+
+    def test_batch_rejects_1d(self):
+        from repro.protocol.crc import crc16_bits_batch
+
+        with pytest.raises(ValueError):
+            crc16_bits_batch(np.zeros(8, dtype=int))

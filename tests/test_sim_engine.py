@@ -90,3 +90,50 @@ class TestSimulator:
         assert fired == ["a"]
         sim.run(until=2.0)
         assert fired == ["a", "b"]
+
+
+class TestPendingCounter:
+    """pending() is a maintained counter, not a heap scan -- its
+    bookkeeping must survive every schedule/cancel/run interleaving."""
+
+    def test_counts_scheduled_events(self):
+        sim = Simulator()
+        events = [sim.schedule(0.1 * (i + 1), lambda: None) for i in range(4)]
+        assert sim.pending() == 4
+        events[0].cancel()
+        assert sim.pending() == 3
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        event = sim.schedule(0.1, lambda: None)
+        other = sim.schedule(0.2, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending() == 1
+        other.cancel()
+        assert sim.pending() == 0
+
+    def test_cancel_after_run_is_noop(self):
+        sim = Simulator()
+        event = sim.schedule(0.1, lambda: None)
+        sim.run()
+        assert sim.pending() == 0
+        event.cancel()
+        assert sim.pending() == 0
+
+    def test_partial_run_keeps_future_events_pending(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=1.0)
+        assert sim.pending() == 1
+
+    def test_rescheduling_inside_callback(self):
+        sim = Simulator()
+        def reschedule():
+            sim.schedule(1.0, lambda: None)
+        sim.schedule(0.5, reschedule)
+        sim.run(until=0.5)
+        assert sim.pending() == 1
+        sim.run()
+        assert sim.pending() == 0
