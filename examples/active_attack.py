@@ -11,30 +11,36 @@ Walks the three attacker classes of the paper's evaluation:
    limitation: it can still win from a few LOS metres, but the shield
    raises an alarm every time it could.
 
-Sweeps run on the batched Monte-Carlo runtime: set ``REPRO_WORKERS=4``
-(or pass ``workers=`` to the sweep helpers) to fan the per-location work
-units across a process pool -- the numbers come out identical either
-way.
+Sweeps resolve named scenarios from the campaign registry
+(``attack-success-*``, ``highpower-*``), so this example and the
+``python -m repro`` CLI share one code path.  They run on the batched
+Monte-Carlo runtime: set ``REPRO_WORKERS=4`` to fan the per-location
+work units across a process pool -- the numbers come out identical
+either way.
 
 Run:  python examples/active_attack.py
 """
 
-from repro.experiments.sweeps import attack_success_sweep
+from repro.campaigns import CampaignRunner, registry
 from repro.experiments.testbed import AttackTestbed
 
 
 def sweep(attacker: str, shield: bool, command: str, locations, trials=25):
-    results = attack_success_sweep(
-        shield_present=shield,
-        n_trials=trials,
+    """Resolve the matching registered scenario, narrowed to our grid."""
+    if attacker == "highpower":
+        base = "highpower-shielded" if shield else "highpower-unshielded"
+    else:
+        base = "attack-success-shielded" if shield else "attack-success-unshielded"
+    scenario = registry.get(base).override(
         command=command,
-        attacker=attacker,
         location_indices=tuple(locations),
+        n_trials=trials,
         seed=400,
     )
+    result = CampaignRunner(scenario, persist=False).run()
     return [
-        (loc, results[loc].success_probability, results[loc].alarm_probability)
-        for loc in locations
+        (p["axis"], p["success_probability"], p["alarm_probability"])
+        for p in result.points
     ]
 
 

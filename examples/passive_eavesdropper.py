@@ -10,6 +10,11 @@ over the received IMD power, and
 * the shield itself, cancelling its own jam with the antidote, decodes
   essentially everything.
 
+The BER-by-location sweep resolves the registered
+``passive-ber-by-location`` scenario, so this example, the ``python -m
+repro`` CLI, and the benchmarks all share one code path (and one result
+cache, when enabled).
+
 Run:  python examples/passive_eavesdropper.py
 """
 
@@ -18,6 +23,7 @@ from repro.adversary.strategies import (
     SpectralSubtractionStrategy,
     TreatJammingAsNoise,
 )
+from repro.campaigns import CampaignRunner, registry
 from repro.experiments.waveform_lab import PassiveLab
 
 
@@ -42,13 +48,18 @@ def main() -> None:
     print(f"  shield packet loss over the same runs: {losses}/120")
 
     print("\neavesdropper BER by location (jamming is location-independent):")
-    by_location = lab.ber_by_location(jam_margin_db=20.0, n_packets=15)
-    for index in (1, 4, 8, 13, 18):
-        loc = lab.budget.geometry.location(index)
+    # The registered Fig. 9 scenario, narrowed to a few locations; the
+    # CLI equivalent is  python -m repro run passive-ber-by-location
+    scenario = registry.get("passive-ber-by-location").override(
+        location_indices=(1, 4, 8, 13, 18), n_trials=15
+    )
+    result = CampaignRunner(scenario, persist=False).run()
+    for point in result.points:
+        loc = lab.budget.geometry.location(point["axis"])
         kind = "LOS " if loc.line_of_sight else "NLOS"
         print(
-            f"  location {index:2d} ({loc.distance_m:5.1f} m {kind}):"
-            f" BER {by_location[index]:.3f}"
+            f"  location {point['axis']:2d} ({loc.distance_m:5.1f} m {kind}):"
+            f" BER {point['ber']:.3f}"
         )
 
     print("\nwithout the shield (jamming off):")

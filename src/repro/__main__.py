@@ -1,0 +1,6 @@
+"""``python -m repro``: the campaign CLI entry point."""
+
+from repro.campaigns.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,48 @@
+"""Campaign subsystem: named, cached, resumable experiment grids.
+
+The paper's evaluation -- and every extension grid the ROADMAP asks for
+-- is a set of *scenarios*: an attacker model crossed with a defense
+configuration, swept along a channel/geometry axis with a Monte-Carlo
+budget.  This package makes that space declarative and operable:
+
+* :mod:`repro.campaigns.spec` -- the validated, content-addressed
+  :class:`Scenario` record;
+* :mod:`repro.campaigns.registry` -- the named registry, pre-populated
+  with the paper's figures and extension grids (battery DoS,
+  crypto-only baseline, MIMO eavesdropper);
+* :mod:`repro.campaigns.cache` -- the per-unit on-disk result cache
+  keyed by (scenario hash, unit coordinates): re-runs are incremental
+  and interrupted campaigns resume instead of restarting;
+* :mod:`repro.campaigns.runner` -- :class:`CampaignRunner`, which
+  compiles a scenario into :class:`~repro.runtime.SweepExecutor` work
+  units and reduces cached + fresh results to bit-identical numbers in
+  any execution order;
+* :mod:`repro.campaigns.cli` -- the ``python -m repro`` command
+  (``list`` / ``run`` / ``status`` / ``compare``).
+
+Future scaling work (sharding campaigns across machines, alternate
+backends, distributed workers) should extend this package: everything
+above it -- CLI, examples, reports -- already consumes scenarios by
+name.
+"""
+
+from repro.campaigns import registry
+from repro.campaigns.cache import ResultCache, default_cache_dir
+from repro.campaigns.runner import (
+    CampaignResult,
+    CampaignRunner,
+    CampaignStatus,
+    CampaignUnit,
+)
+from repro.campaigns.spec import Scenario
+
+__all__ = [
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignStatus",
+    "CampaignUnit",
+    "ResultCache",
+    "Scenario",
+    "default_cache_dir",
+    "registry",
+]

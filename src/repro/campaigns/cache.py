@@ -1,0 +1,113 @@
+"""Content-addressed on-disk cache of per-unit campaign results.
+
+Layout (one directory per scenario content hash)::
+
+    <root>/
+      <scenario_hash>/
+        scenario.json        # human-readable manifest of the payload
+        <unit_hash>.json     # one completed work unit's result
+
+Keys are pure content addresses: the scenario hash digests the
+scenario's execution payload (seed included), the unit hash digests the
+unit's coordinates in the deterministic work plan.  Because every work
+unit's RNG stream is a function of exactly those inputs, a cache hit is
+guaranteed to hold the same numbers a fresh evaluation would produce --
+so re-runs are incremental and an interrupted campaign resumes instead
+of restarting.
+
+Invalidation needs no bookkeeping: changing any execution parameter
+changes the scenario hash, which lands in a fresh, empty directory.
+Writes are atomic (temp file + ``os.replace``), so a run killed
+mid-write never leaves a corrupt entry -- a half-written temp file is
+simply ignored, and an unreadable entry is treated as absent and
+recomputed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.campaigns.spec import Scenario
+
+__all__ = ["ResultCache", "default_cache_dir", "unit_hash"]
+
+#: Environment variable overriding the cache root directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``REPRO_CACHE_DIR`` or ``.repro-cache/`` in cwd."""
+    raw = os.environ.get(CACHE_DIR_ENV, "").strip()
+    return Path(raw) if raw else Path(".repro-cache")
+
+
+def unit_hash(coords: dict) -> str:
+    """Content address of one work unit inside its scenario namespace.
+
+    ``coords`` are the unit's plan coordinates (grid point, chunk index,
+    trial count) -- everything that, together with the scenario payload,
+    determines its RNG stream and therefore its result.
+    """
+    canonical = json.dumps(coords, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+class ResultCache:
+    """Per-unit result store rooted at one directory."""
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+
+    def scenario_dir(self, scenario: Scenario) -> Path:
+        return self.root / scenario.scenario_hash()
+
+    def _unit_path(self, scenario: Scenario, key: str) -> Path:
+        return self.scenario_dir(scenario) / f"{key}.json"
+
+    def get(self, scenario: Scenario, key: str) -> dict | None:
+        """The stored result of one unit, or None if absent/unreadable."""
+        path = self._unit_path(scenario, key)
+        try:
+            payload = json.loads(path.read_text())
+        # ValueError covers JSONDecodeError and UnicodeDecodeError alike:
+        # any unreadable entry (truncated write, disk corruption, stray
+        # binary) must look absent, never crash the resume.
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or "result" not in payload:
+            return None
+        return payload["result"]
+
+    def put(
+        self, scenario: Scenario, key: str, coords: dict, result: dict
+    ) -> None:
+        """Persist one completed unit atomically."""
+        directory = self.scenario_dir(scenario)
+        directory.mkdir(parents=True, exist_ok=True)
+        self._write_manifest(scenario, directory)
+        payload = {"coords": coords, "result": result}
+        path = self._unit_path(scenario, key)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1) + "\n")
+        os.replace(tmp, path)
+
+    def cached_keys(self, scenario: Scenario, keys: list[str]) -> set[str]:
+        """Which of ``keys`` already hold a readable result."""
+        return {key for key in keys if self.get(scenario, key) is not None}
+
+    def _write_manifest(self, scenario: Scenario, directory: Path) -> None:
+        """A human-readable record of what this namespace holds."""
+        manifest = directory / "scenario.json"
+        if manifest.exists():
+            return
+        body = {
+            "name": scenario.name,
+            "title": scenario.title,
+            "payload": scenario.payload(),
+        }
+        tmp = manifest.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(body, sort_keys=True, indent=1) + "\n")
+        os.replace(tmp, manifest)

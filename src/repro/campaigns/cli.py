@@ -1,0 +1,337 @@
+"""The ``python -m repro`` command-line interface.
+
+Four subcommands operate the campaign subsystem::
+
+    python -m repro list                         # what can be run
+    python -m repro run attack-success-shielded  # run (resumes from cache)
+    python -m repro status attack-success-shielded
+    python -m repro compare attack-success-unshielded attack-success-shielded
+
+``run`` and ``compare`` emit text (default), markdown, or JSON via
+:class:`repro.experiments.report.ExperimentReport`, so figures drop
+straight into terminals, PR descriptions, or downstream tooling.
+
+Killing a ``run`` mid-campaign is safe: completed work units are already
+on disk, and the next invocation completes from cache with bit-identical
+final numbers (same seeds) to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.campaigns import registry
+from repro.campaigns.cache import default_cache_dir
+from repro.campaigns.runner import CampaignResult, CampaignRunner
+from repro.campaigns.spec import Scenario
+from repro.experiments.metrics import success_probability
+from repro.experiments.report import ExperimentReport
+
+__all__ = ["main"]
+
+
+def _resolve(name: str) -> Scenario:
+    try:
+        return registry.get(name)
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}") from None
+
+
+def _parse_locations(raw: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(part) for part in raw.split(",") if part.strip())
+    except ValueError:
+        raise SystemExit(
+            f"error: --locations must be comma-separated integers, got {raw!r}"
+        ) from None
+
+
+def _apply_overrides(scenario: Scenario, args: argparse.Namespace) -> Scenario:
+    changes: dict = {}
+    if args.trials is not None:
+        changes["n_trials"] = args.trials
+    if args.seed is not None:
+        changes["seed"] = args.seed
+    if args.chunk_size is not None:
+        changes["chunk_size"] = args.chunk_size
+    if args.locations is not None:
+        changes["location_indices"] = _parse_locations(args.locations)
+    if not changes:
+        return scenario
+    try:
+        return scenario.override(**changes)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+
+def _runner(scenario: Scenario, args: argparse.Namespace) -> CampaignRunner:
+    try:
+        return CampaignRunner(
+            scenario,
+            cache_dir=args.cache_dir,
+            workers=args.workers,
+            persist=not args.no_cache,
+        )
+    except ValueError as exc:  # e.g. --workers -1
+        raise SystemExit(f"error: {exc}") from None
+
+
+def _result_report(result: CampaignResult) -> ExperimentReport:
+    scenario = result.scenario
+    title = scenario.title or scenario.name
+    if scenario.kind == "attack":
+        report = ExperimentReport(
+            title, headers=("location", "success", "alarm", "95% CI")
+        )
+        for point in result.points:
+            _, low, high = success_probability(point["wins"], point["n_trials"])
+            report.add(
+                point["label"],
+                f"{point['success_probability']:.2f}",
+                f"{point['alarm_probability']:.2f}",
+                f"[{low:.2f}, {high:.2f}]",
+            )
+    elif scenario.kind == "passive_ber":
+        report = ExperimentReport(
+            title, headers=("location", "eavesdropper BER", "packets", "note")
+        )
+        for point in result.points:
+            note = "~coin flips" if point["ber"] > 0.4 else ""
+            report.add(
+                point["label"], f"{point['ber']:.3f}", str(point["n_packets"]), note
+            )
+    else:
+        report = ExperimentReport(
+            title, headers=("separation", "BER", "jam rejection", "attempts")
+        )
+        for point in result.points:
+            report.add(
+                point["label"],
+                f"{point['ber']:.3f}",
+                f"{point['jam_rejection_db']:.1f} dB",
+                str(point["n_packets"]),
+            )
+    return report
+
+
+def _emit(report: ExperimentReport, payload: dict, fmt: str) -> None:
+    if fmt == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif fmt == "markdown":
+        print(report.render_markdown())
+    else:
+        print(report.render())
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    scenarios = registry.all_scenarios()
+    if args.json:
+        print(json.dumps(
+            [
+                {
+                    "name": s.name,
+                    "kind": s.kind,
+                    "title": s.title,
+                    "grid": s.grid_size(),
+                    "n_trials": s.n_trials,
+                    "tags": list(s.tags),
+                    "hash": s.scenario_hash(),
+                }
+                for s in scenarios
+            ],
+            indent=2,
+        ))
+        return 0
+    report = ExperimentReport(
+        "registered scenarios", headers=("name", "kind", "grid", "summary")
+    )
+    for s in scenarios:
+        report.add(s.name, s.kind, f"{s.grid_size()} pts", s.summary())
+    print(report.render())
+    print("\nrun one with:  python -m repro run <name>")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = _apply_overrides(_resolve(args.scenario), args)
+    runner = _runner(scenario, args)
+    result = runner.run(force=args.force)
+    _emit(_result_report(result), result.to_payload(), args.format)
+    if args.format != "json":
+        where = "in memory" if args.no_cache else f"cache {runner.cache.root}"
+        print(
+            f"\nunits: {result.total_units} total, "
+            f"{result.cached_units} from cache, "
+            f"{result.computed_units} computed ({where})"
+        )
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    scenario = _apply_overrides(_resolve(args.scenario), args)
+    status = CampaignRunner(scenario, cache_dir=args.cache_dir).status()
+    if args.json:
+        print(json.dumps(status.__dict__, indent=2, sort_keys=True))
+        return 0
+    state = (
+        "complete"
+        if status.complete
+        else f"{status.pending_units} unit(s) pending"
+    )
+    print(
+        f"{status.scenario} [{status.scenario_hash}]: "
+        f"{status.cached_units}/{status.total_units} units cached -- {state}"
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    scenario_a = _apply_overrides(_resolve(args.scenario_a), args)
+    scenario_b = _apply_overrides(_resolve(args.scenario_b), args)
+    if scenario_a.kind != scenario_b.kind:
+        raise SystemExit(
+            f"error: cannot compare a {scenario_a.kind!r} scenario with a "
+            f"{scenario_b.kind!r} one"
+        )
+    result_a = _runner(scenario_a, args).run()
+    result_b = _runner(scenario_b, args).run()
+    key = result_a.value_key
+    axes_b = {p["axis"] for p in result_b.points}
+    shared = [p["axis"] for p in result_a.points if p["axis"] in axes_b]
+    if not shared:
+        raise SystemExit("error: the scenarios share no grid points")
+
+    report = ExperimentReport(
+        f"{scenario_a.name} vs {scenario_b.name}",
+        headers=("point", scenario_a.name, scenario_b.name, "delta"),
+    )
+    rows = []
+    for axis in shared:
+        point_a = result_a.point(axis)
+        point_b = result_b.point(axis)
+        delta = point_b[key] - point_a[key]
+        report.add(
+            point_a["label"],
+            f"{point_a[key]:.3f}",
+            f"{point_b[key]:.3f}",
+            f"{delta:+.3f}",
+        )
+        rows.append({
+            "axis": axis,
+            "label": point_a["label"],
+            scenario_a.name: point_a[key],
+            scenario_b.name: point_b[key],
+            "delta": delta,
+        })
+    payload = {
+        "value_key": key,
+        "a": result_a.to_payload(),
+        "b": result_b.to_payload(),
+        "comparison": rows,
+    }
+    _emit(report, payload, args.format)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Argument parsing
+# ----------------------------------------------------------------------
+
+
+def _add_override_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trials", type=int, default=None,
+        help="override trials per grid point (changes the cache namespace)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the root seed"
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="shard each grid point's trials into chunks of this size",
+    )
+    parser.add_argument(
+        "--locations", default=None,
+        help="comma-separated location indices (attack/passive scenarios)",
+    )
+
+
+def _add_execution_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: REPRO_WORKERS, else serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help=f"result cache root (default: REPRO_CACHE_DIR or {default_cache_dir()})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="run fully in memory: no cache reads or writes",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "markdown", "json"), default="text",
+        help="report format (default: text)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run, resume, and compare named reproduction campaigns.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list registered scenarios")
+    p_list.add_argument("--json", action="store_true", help="emit JSON")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser(
+        "run", help="run a scenario (incremental: resumes from cache)"
+    )
+    p_run.add_argument("scenario", help="registered scenario name")
+    p_run.add_argument(
+        "--force", action="store_true",
+        help="recompute every unit, overwriting cache entries",
+    )
+    _add_override_args(p_run)
+    _add_execution_args(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_status = sub.add_parser("status", help="cache completeness of a scenario")
+    p_status.add_argument("scenario", help="registered scenario name")
+    p_status.add_argument("--json", action="store_true", help="emit JSON")
+    p_status.add_argument("--cache-dir", default=None, help="result cache root")
+    _add_override_args(p_status)
+    p_status.set_defaults(func=_cmd_status)
+
+    p_cmp = sub.add_parser(
+        "compare", help="run two scenarios and diff their shared grid points"
+    )
+    p_cmp.add_argument("scenario_a", help="baseline scenario name")
+    p_cmp.add_argument("scenario_b", help="candidate scenario name")
+    _add_override_args(p_cmp)
+    _add_execution_args(p_cmp)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        print(
+            "\ninterrupted -- completed units are cached; "
+            "re-run to resume from where this stopped",
+            file=sys.stderr,
+        )
+        return 130

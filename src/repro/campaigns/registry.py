@@ -1,0 +1,211 @@
+"""The scenario registry: every named run the repo knows how to reproduce.
+
+Pre-populated with the paper's headline grids (passive BER by location,
+shielded/unshielded attack success, the 100x-power sweep) plus grid
+entries the paper's figures do not cover but its threat model raises:
+
+* a sustained battery-drain attacker (the battery-DoS model of Siddiqi
+  et al., arXiv:1904.06893) with and without the shield;
+* a crypto-only baseline -- no shield, commands gated by authentication,
+  so command *execution* is blocked but every delivered packet still
+  costs the IMD receive/verify energy (the reason the paper argues for
+  an external defense);
+* the S3.2 MIMO eavesdropper versus shield-to-IMD separation.
+
+Registering a new scenario is one :func:`register` call with a
+:class:`~repro.campaigns.spec.Scenario`; the campaign runner, cache,
+CLI, and examples all resolve scenarios from here, so a registered name
+is immediately runnable, resumable, and comparable.
+"""
+
+from __future__ import annotations
+
+from repro.campaigns.spec import Scenario
+
+__all__ = ["register", "get", "names", "all_scenarios"]
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register(scenario: Scenario, *, allow_replace: bool = False) -> Scenario:
+    """Add a scenario to the registry (names are unique)."""
+    if scenario.name in _REGISTRY and not allow_replace:
+        raise ValueError(f"scenario {scenario.name!r} is already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get(name: str) -> Scenario:
+    """Look a scenario up by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise KeyError(
+            f"unknown scenario {name!r}; registered scenarios: {known}"
+        ) from None
+
+
+def names() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def all_scenarios() -> list[Scenario]:
+    return [_REGISTRY[name] for name in names()]
+
+
+def _register_builtins() -> None:
+    # --- the paper's figures ------------------------------------------
+    register(Scenario(
+        name="passive-ber-by-location",
+        kind="passive_ber",
+        title="Fig. 9: eavesdropper BER under shaped jamming, by location",
+        description=(
+            "The IMD transmits telemetry while the shield jams +20 dB over "
+            "the received IMD power; a passive eavesdropper at every "
+            "numbered testbed location decodes ~coin flips."
+        ),
+        tags=("paper", "fig9", "passive"),
+        location_indices=tuple(range(1, 19)),
+        jam_margin_db=20.0,
+        n_trials=25,
+    ))
+    register(Scenario(
+        name="attack-success-unshielded",
+        kind="attack",
+        title="Fig. 12: therapy tampering against the bare IMD",
+        description=(
+            "An FCC-power adversary sends unauthorized therapy commands at "
+            "each location; without the shield it succeeds out to ~14 m."
+        ),
+        tags=("paper", "fig12", "active"),
+        attacker="fcc",
+        command="therapy",
+        shield_present=False,
+        location_indices=tuple(range(1, 15)),
+        n_trials=25,
+    ))
+    register(Scenario(
+        name="attack-success-shielded",
+        kind="attack",
+        title="Fig. 12: therapy tampering against the shielded IMD",
+        description=(
+            "The same FCC-power therapy attack with the shield worn: the "
+            "reactive jammer should hold the success probability at zero "
+            "everywhere."
+        ),
+        tags=("paper", "fig12", "active"),
+        attacker="fcc",
+        command="therapy",
+        shield_present=True,
+        location_indices=tuple(range(1, 15)),
+        n_trials=25,
+    ))
+    register(Scenario(
+        name="highpower-unshielded",
+        kind="attack",
+        title="Fig. 13: 100x-power directional adversary, bare IMD",
+        description=(
+            "The high-power attacker with a directional antenna sweeps all "
+            "18 locations against the unshielded IMD."
+        ),
+        tags=("paper", "fig13", "active", "highpower"),
+        attacker="highpower",
+        command="therapy",
+        shield_present=False,
+        location_indices=tuple(range(1, 19)),
+        n_trials=25,
+    ))
+    register(Scenario(
+        name="highpower-shielded",
+        kind="attack",
+        title="Fig. 13: 100x-power directional adversary vs. the shield",
+        description=(
+            "The intrinsic limitation: raw power beats jamming only from "
+            "nearby line-of-sight spots, and every dangerous transmission "
+            "raises the patient alarm."
+        ),
+        tags=("paper", "fig13", "active", "highpower"),
+        attacker="highpower",
+        command="therapy",
+        shield_present=True,
+        location_indices=tuple(range(1, 19)),
+        n_trials=25,
+    ))
+
+    # --- grid entries beyond the paper's figures ----------------------
+    register(Scenario(
+        name="battery-drain-unshielded",
+        kind="attack",
+        title="Battery-DoS: sustained interrogation of the bare IMD",
+        description=(
+            "The battery-depletion attacker model of Siddiqi et al. "
+            "(arXiv:1904.06893): repeated interrogations force the IMD to "
+            "receive and reply, draining a ~20 kJ battery from across the "
+            "room."
+        ),
+        tags=("extension", "battery-dos"),
+        attacker="fcc",
+        command="interrogate",
+        metric="imd_responded",
+        shield_present=False,
+        location_indices=tuple(range(1, 15)),
+        n_trials=25,
+    ))
+    register(Scenario(
+        name="battery-drain-shielded",
+        kind="attack",
+        title="Battery-DoS: sustained interrogation vs. the shield",
+        description=(
+            "The same sustained interrogation with the shield worn; the "
+            "reactive jammer keeps the IMD from ever decoding the command, "
+            "so the drain never starts."
+        ),
+        tags=("extension", "battery-dos"),
+        attacker="fcc",
+        command="interrogate",
+        metric="imd_responded",
+        shield_present=True,
+        location_indices=tuple(range(1, 15)),
+        n_trials=25,
+    ))
+    register(Scenario(
+        name="crypto-only-baseline",
+        kind="attack",
+        title="Crypto-only baseline: authenticated IMD, no shield",
+        description=(
+            "No shield; commands are gated by authentication, so therapy "
+            "tampering is cryptographically blocked -- but every delivered "
+            "packet still reaches the IMD's receiver and costs verify "
+            "energy.  The metric counts packets the bare IMD decodes "
+            "(imd_accepted): the residual battery-DoS surface crypto alone "
+            "cannot close (IMDfence, Siddiqi et al.)."
+        ),
+        tags=("extension", "crypto", "battery-dos"),
+        attacker="fcc",
+        command="interrogate",
+        metric="imd_accepted",
+        shield_present=False,
+        location_indices=tuple(range(1, 15)),
+        n_trials=25,
+    ))
+    register(Scenario(
+        name="mimo-eavesdropper",
+        kind="mimo",
+        title="S3.2: multi-antenna eavesdropper vs. source separation",
+        description=(
+            "A 2-antenna eavesdropper at stand-off SNR (~6 dB, the "
+            "testbed's far locations) runs blind jam-subspace projection "
+            "against correlated shield/IMD channels: worn centimetres from "
+            "the implant the shield leaves near coin flips; at half a "
+            "wavelength projection recovers the telemetry."
+        ),
+        tags=("extension", "mimo", "passive"),
+        separations_m=(0.02, 0.06, 0.12, 0.25, 0.37),
+        n_antennas=2,
+        snr_db=6.0,
+        n_trials=10,
+    ))
+
+
+_register_builtins()

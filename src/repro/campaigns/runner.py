@@ -1,0 +1,501 @@
+"""The campaign runner: scenarios -> work units -> cached, resumable runs.
+
+:class:`CampaignRunner` compiles a :class:`~repro.campaigns.spec.Scenario`
+into the same deterministic work plan the sweep helpers use -- one
+picklable spec per (grid point, trial chunk), each carrying its own RNG
+stream -- fans the pending units across a
+:class:`~repro.runtime.SweepExecutor`, and persists every completed unit
+to a :class:`~repro.campaigns.cache.ResultCache` as soon as its batch
+finishes.  Because unit results are pure functions of (scenario payload,
+plan coordinates), a re-run skips every cached unit and an interrupted
+campaign resumes where it stopped; the reduction is order-independent,
+so cached + fresh unit mixes reduce to *bit-identical* numbers versus an
+uninterrupted serial run.
+
+Attack scenarios evaluate through
+:func:`repro.experiments.sweeps.run_attack_chunk` -- the exact code path
+of :func:`~repro.experiments.sweeps.attack_success_sweep` -- so a named
+campaign reproduces the figure sweeps number for number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.campaigns.cache import ResultCache, default_cache_dir, unit_hash
+from repro.campaigns.spec import Scenario
+from repro.channel.geometry import TestbedGeometry
+from repro.experiments.sweeps import (
+    AttackChunkSpec,
+    plan_attack_chunks,
+    reduce_attack_counts,
+    run_attack_chunk,
+)
+from repro.runtime import SweepExecutor, chunk_sizes
+from repro.runtime.seeding import unit_seed_sequence
+
+__all__ = [
+    "CampaignRunner",
+    "CampaignResult",
+    "CampaignStatus",
+    "CampaignUnit",
+]
+
+
+# ----------------------------------------------------------------------
+# Work-unit specs beyond the attack kind (picklable, self-contained)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _PassiveChunkSpec:
+    """One block of jammed telemetry packets at one location."""
+
+    location_index: int
+    n_packets: int
+    jam_margin_db: float
+    seed: int | np.random.SeedSequence
+
+
+@dataclass(frozen=True)
+class _MimoChunkSpec:
+    """One block of multi-antenna eavesdropping attempts at one separation."""
+
+    separation_m: float
+    n_packets: int
+    packet_bits: int
+    n_antennas: int
+    sir_db: float
+    snr_db: float
+    seed: np.random.SeedSequence
+
+
+def _run_passive_chunk(spec: _PassiveChunkSpec) -> dict:
+    """Evaluate one passive unit: summed eavesdropper BER over its block."""
+    from repro.experiments.waveform_lab import PassiveLab
+
+    lab = PassiveLab(seed=spec.seed)
+    batch = lab.run_batch(
+        spec.jam_margin_db,
+        n_packets=spec.n_packets,
+        location_index=spec.location_index,
+        score_shield=False,
+    )
+    return {
+        "ber_sum": float(np.sum(batch.eavesdropper_ber)),
+        "n_packets": spec.n_packets,
+    }
+
+
+def _run_mimo_chunk(spec: _MimoChunkSpec) -> dict:
+    """Evaluate one MIMO unit: blind-projection attacks at one separation."""
+    from repro.adversary.mimo import MIMOEavesdropper
+    from repro.core.jamming import ShapedJammer
+    from repro.phy.fsk import FSKConfig
+
+    rng = np.random.default_rng(spec.seed)
+    fsk = FSKConfig()
+    eavesdropper = MIMOEavesdropper(spec.n_antennas, config=fsk, rng=rng)
+    jammer = ShapedJammer.matched_to_fsk(
+        fsk.deviation_hz, fsk.bit_rate, fsk.sample_rate, rng=rng
+    )
+    ber_sum = 0.0
+    rejection_sum = 0.0
+    for _ in range(spec.n_packets):
+        bits = rng.integers(0, 2, size=spec.packet_bits)
+        jam = jammer.generate(fsk.n_samples(spec.packet_bits))
+        result = eavesdropper.attack(
+            bits,
+            jam,
+            source_separation_m=spec.separation_m,
+            sir_db=spec.sir_db,
+            snr_db=spec.snr_db,
+        )
+        ber_sum += result.bit_error_rate
+        rejection_sum += result.jam_rejection_db
+    return {
+        "ber_sum": ber_sum,
+        "rejection_sum": rejection_sum,
+        "n_packets": spec.n_packets,
+    }
+
+
+def _evaluate_unit(spec) -> dict:
+    """Module-level dispatcher so every unit kind survives pickling."""
+    if isinstance(spec, AttackChunkSpec):
+        wins, alarms = run_attack_chunk(spec)
+        return {"wins": int(wins), "alarms": int(alarms)}
+    if isinstance(spec, _PassiveChunkSpec):
+        return _run_passive_chunk(spec)
+    if isinstance(spec, _MimoChunkSpec):
+        return _run_mimo_chunk(spec)
+    raise TypeError(f"unknown work-unit spec {type(spec).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Plan / status / result containers
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignUnit:
+    """One schedulable work unit: content key, plan coordinates, spec."""
+
+    key: str
+    coords: dict
+    spec: object
+
+
+@dataclass(frozen=True)
+class CampaignStatus:
+    """Cache completeness of one scenario."""
+
+    scenario: str
+    scenario_hash: str
+    total_units: int
+    cached_units: int
+
+    @property
+    def pending_units(self) -> int:
+        return self.total_units - self.cached_units
+
+    @property
+    def complete(self) -> bool:
+        return self.cached_units >= self.total_units
+
+
+@dataclass
+class CampaignResult:
+    """Reduced per-grid-point results of one completed campaign."""
+
+    scenario: Scenario
+    points: list[dict]
+    total_units: int
+    cached_units: int
+    computed_units: int
+
+    @property
+    def value_key(self) -> str:
+        """The headline per-point quantity (for reports and compares)."""
+        return "success_probability" if self.scenario.kind == "attack" else "ber"
+
+    def point(self, axis) -> dict:
+        for point in self.points:
+            if point["axis"] == axis:
+                return point
+        raise KeyError(f"no grid point {axis!r} in {self.scenario.name}")
+
+    def to_payload(self) -> dict:
+        """JSON-ready summary of the whole campaign."""
+        return {
+            "scenario": self.scenario.name,
+            "scenario_hash": self.scenario.scenario_hash(),
+            "kind": self.scenario.kind,
+            "title": self.scenario.title,
+            "value_key": self.value_key,
+            "points": self.points,
+            "units": {
+                "total": self.total_units,
+                "from_cache": self.cached_units,
+                "computed": self.computed_units,
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+
+
+class CampaignRunner:
+    """Compile, execute, persist, resume, and reduce one scenario.
+
+    Parameters
+    ----------
+    scenario:
+        The validated spec to run.
+    cache_dir:
+        Cache root; ``None`` uses ``REPRO_CACHE_DIR`` /
+        ``.repro-cache``.  Ignored when ``persist=False``.
+    workers:
+        Worker processes for pending units (``None`` defers to
+        ``REPRO_WORKERS``; serial by default).  Worker count never
+        changes the numbers -- only how fast pending units fill in.
+    persist:
+        ``False`` runs fully in memory (examples, throwaway grids): no
+        cache reads, no writes.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        cache_dir: Path | str | None = None,
+        workers: int | None = None,
+        persist: bool = True,
+    ):
+        self.scenario = scenario
+        self.executor = SweepExecutor(workers)
+        self.persist = persist
+        self.cache: ResultCache | None = (
+            ResultCache(cache_dir if cache_dir is not None else default_cache_dir())
+            if persist
+            else None
+        )
+
+    # -- planning ------------------------------------------------------
+
+    def plan(self) -> list[CampaignUnit]:
+        """The scenario's deterministic work plan, in reduction order."""
+        scenario = self.scenario
+        units: list[CampaignUnit] = []
+        if scenario.kind == "attack":
+            for spec in plan_attack_chunks(
+                scenario.location_indices,
+                scenario.n_trials,
+                scenario.command,
+                scenario.attacker,
+                scenario.shield_present,
+                scenario.antenna_gain_dbi,
+                scenario.seed,
+                scenario.chunk_size,
+                metric=scenario.metric,
+            ):
+                coords = {
+                    "kind": "attack",
+                    "location": spec.location_index,
+                    "chunk": spec.chunk_index,
+                    "n_trials": spec.n_trials,
+                }
+                units.append(CampaignUnit(unit_hash(coords), coords, spec))
+        elif scenario.kind == "passive_ber":
+            for location in scenario.location_indices:
+                sizes = chunk_sizes(scenario.n_trials, scenario.chunk_size)
+                for chunk_index, size in enumerate(sizes):
+                    # Mirror the attack plan's seeding convention: a
+                    # whole-location block keeps the seed+location
+                    # scheme, sharded blocks get per-chunk streams.
+                    if len(sizes) == 1:
+                        seed: int | np.random.SeedSequence = (
+                            scenario.seed + location
+                        )
+                    else:
+                        seed = unit_seed_sequence(
+                            scenario.seed, (location, chunk_index)
+                        )
+                    coords = {
+                        "kind": "passive_ber",
+                        "location": location,
+                        "chunk": chunk_index,
+                        "n_trials": size,
+                    }
+                    spec = _PassiveChunkSpec(
+                        location_index=location,
+                        n_packets=size,
+                        jam_margin_db=scenario.jam_margin_db,
+                        seed=seed,
+                    )
+                    units.append(CampaignUnit(unit_hash(coords), coords, spec))
+        else:  # mimo
+            for index, separation in enumerate(scenario.separations_m):
+                sizes = chunk_sizes(scenario.n_trials, scenario.chunk_size)
+                for chunk_index, size in enumerate(sizes):
+                    coords = {
+                        "kind": "mimo",
+                        "separation_index": index,
+                        "chunk": chunk_index,
+                        "n_trials": size,
+                    }
+                    spec = _MimoChunkSpec(
+                        separation_m=separation,
+                        n_packets=size,
+                        packet_bits=scenario.packet_bits,
+                        n_antennas=scenario.n_antennas,
+                        sir_db=scenario.sir_db,
+                        snr_db=scenario.snr_db,
+                        seed=unit_seed_sequence(
+                            scenario.seed, (index, chunk_index)
+                        ),
+                    )
+                    units.append(CampaignUnit(unit_hash(coords), coords, spec))
+        return units
+
+    # -- execution -----------------------------------------------------
+
+    def status(self) -> CampaignStatus:
+        """How much of the campaign the cache already holds."""
+        units = self.plan()
+        cached = 0
+        if self.cache is not None:
+            cached = len(
+                self.cache.cached_keys(self.scenario, [u.key for u in units])
+            )
+        return CampaignStatus(
+            scenario=self.scenario.name,
+            scenario_hash=self.scenario.scenario_hash(),
+            total_units=len(units),
+            cached_units=cached,
+        )
+
+    def _batch_size(self) -> int:
+        # Serial runs flush after every unit, so an interrupt loses at
+        # most the unit in flight; parallel runs flush per pool batch.
+        if not self.executor.parallel:
+            return 1
+        return self.executor.workers * 2
+
+    def materialize(
+        self, limit: int | None = None, force: bool = False
+    ) -> int:
+        """Evaluate up to ``limit`` pending units into the cache.
+
+        Returns how many units were computed.  With ``limit=None`` the
+        whole plan materializes; calling this repeatedly (or across
+        interrupted processes) converges to a fully cached campaign.
+        """
+        _, _, computed = self._execute(limit=limit, force=force, collect=False)
+        return computed
+
+    def run(self, force: bool = False) -> CampaignResult:
+        """Run the campaign to completion and reduce it.
+
+        Cached units are loaded, pending units computed (and persisted
+        per batch, so an interrupt resumes); ``force=True`` ignores and
+        overwrites existing cache entries.
+        """
+        units, results, computed = self._execute(
+            limit=None, force=force, collect=True
+        )
+        assert results is not None
+        cached = len(units) - computed
+        points = self._reduce(units, [results[u.key] for u in units])
+        return CampaignResult(
+            scenario=self.scenario,
+            points=points,
+            total_units=len(units),
+            cached_units=cached,
+            computed_units=computed,
+        )
+
+    def _execute(
+        self, limit: int | None, force: bool, collect: bool
+    ) -> tuple[list[CampaignUnit], dict[str, dict] | None, int]:
+        """Shared engine of :meth:`materialize` and :meth:`run`."""
+        units = self.plan()
+        results: dict[str, dict] = {}
+        pending: list[CampaignUnit] = []
+        for unit in units:
+            cached = (
+                None
+                if (force or self.cache is None)
+                else self.cache.get(self.scenario, unit.key)
+            )
+            if cached is not None:
+                results[unit.key] = cached
+            else:
+                pending.append(unit)
+        if limit is not None:
+            pending = pending[:limit]
+        computed = 0
+        batch_size = self._batch_size()
+        for start in range(0, len(pending), batch_size):
+            batch = pending[start : start + batch_size]
+            batch_results = self.executor.map(
+                _evaluate_unit, [u.spec for u in batch]
+            )
+            for unit, result in zip(batch, batch_results):
+                if self.cache is not None:
+                    self.cache.put(self.scenario, unit.key, unit.coords, result)
+                results[unit.key] = result
+                computed += 1
+        if not collect:
+            return units, None, computed
+        missing = [u.key for u in units if u.key not in results]
+        if missing:
+            raise RuntimeError(
+                f"campaign incomplete: {len(missing)} units unevaluated"
+            )
+        return units, results, computed
+
+    # -- reduction -----------------------------------------------------
+
+    def _reduce(
+        self, units: list[CampaignUnit], results: list[dict]
+    ) -> list[dict]:
+        scenario = self.scenario
+        if scenario.kind == "attack":
+            plan = [u.spec for u in units]
+            counts = [(r["wins"], r["alarms"]) for r in results]
+            by_location = reduce_attack_counts(
+                plan, counts, scenario.n_trials, scenario.location_indices
+            )
+            # Carry the integer counts alongside the probabilities so
+            # downstream consumers (confidence intervals, merges) never
+            # have to reconstruct them from a float.
+            wins: dict[int, int] = {loc: 0 for loc in scenario.location_indices}
+            alarms: dict[int, int] = {loc: 0 for loc in scenario.location_indices}
+            for spec, (chunk_wins, chunk_alarms) in zip(plan, counts):
+                wins[spec.location_index] += chunk_wins
+                alarms[spec.location_index] += chunk_alarms
+            return [
+                {
+                    "axis": location,
+                    "label": self._location_label(location),
+                    "success_probability": by_location[location].success_probability,
+                    "alarm_probability": by_location[location].alarm_probability,
+                    "wins": wins[location],
+                    "alarms": alarms[location],
+                    "n_trials": scenario.n_trials,
+                }
+                for location in scenario.location_indices
+            ]
+        if scenario.kind == "passive_ber":
+            ber_sum: dict[int, float] = {}
+            packets: dict[int, int] = {}
+            for unit, result in zip(units, results):
+                location = unit.coords["location"]
+                ber_sum[location] = ber_sum.get(location, 0.0) + result["ber_sum"]
+                packets[location] = packets.get(location, 0) + result["n_packets"]
+            return [
+                {
+                    "axis": location,
+                    "label": self._location_label(location),
+                    "ber": ber_sum[location] / packets[location],
+                    "n_packets": packets[location],
+                }
+                for location in scenario.location_indices
+            ]
+        # mimo
+        ber_sums: dict[int, float] = {}
+        rejection_sums: dict[int, float] = {}
+        counts_by_sep: dict[int, int] = {}
+        for unit, result in zip(units, results):
+            index = unit.coords["separation_index"]
+            ber_sums[index] = ber_sums.get(index, 0.0) + result["ber_sum"]
+            rejection_sums[index] = (
+                rejection_sums.get(index, 0.0) + result["rejection_sum"]
+            )
+            counts_by_sep[index] = (
+                counts_by_sep.get(index, 0) + result["n_packets"]
+            )
+        return [
+            {
+                "axis": separation,
+                "label": f"separation {separation:.2f} m",
+                "ber": ber_sums[index] / counts_by_sep[index],
+                "jam_rejection_db": rejection_sums[index] / counts_by_sep[index],
+                "n_packets": counts_by_sep[index],
+            }
+            for index, separation in enumerate(scenario.separations_m)
+        ]
+
+    _geometry: TestbedGeometry | None = None
+
+    def _location_label(self, index: int) -> str:
+        if self._geometry is None:
+            self._geometry = TestbedGeometry()
+        location = self._geometry.location(index)
+        kind = "LOS" if location.line_of_sight else "NLOS"
+        return f"location {index} ({location.distance_m:g} m {kind})"

@@ -1,0 +1,271 @@
+"""Declarative scenario specs: one frozen record per reproducible run.
+
+A :class:`Scenario` names everything a campaign needs to reproduce one
+grid of results -- the attacker model, the defense configuration, the
+channel geometry axis it sweeps, and the Monte-Carlo budget -- so runs
+can be listed, cached, resumed, and compared by name instead of by
+hand-edited script.
+
+Three scenario kinds cover the repo's experiment layers:
+
+* ``"attack"`` -- the Fig. 11/12/13 event-level sweeps: an active
+  adversary (``fcc`` or ``highpower``) walks the numbered testbed
+  locations and fires unauthorized commands at the (optionally
+  shielded) IMD.
+* ``"passive_ber"`` -- the Fig. 9 waveform-level sweep: a passive
+  eavesdropper's bit error rate under shaped jamming, by location.
+* ``"mimo"`` -- the S3.2 multi-antenna eavesdropper: blind jam-subspace
+  projection versus shield-to-IMD source separation.
+
+Identity is *content-addressed*: :meth:`Scenario.scenario_hash` digests
+the canonical execution payload (kind, axes, seeds, trial counts -- not
+the display name or prose), so two specs that would compute the same
+numbers share one cache namespace and any parameter change invalidates
+it automatically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields, replace
+
+from repro.experiments.sweeps import ATTACK_METRICS
+
+__all__ = ["Scenario", "SCHEMA_VERSION"]
+
+#: Bumped whenever the meaning of a payload field changes; part of the
+#: content hash, so old cache entries can never be misread as new ones.
+SCHEMA_VERSION = 1
+
+_KINDS = ("attack", "passive_ber", "mimo")
+_ATTACKERS = ("fcc", "highpower")
+_COMMANDS = ("interrogate", "therapy")
+
+#: Execution-relevant fields per kind -- exactly what the content hash
+#: covers.  Display fields (name, title, description, tags) are *not*
+#: identity: renaming a scenario must not orphan its cached results.
+_PAYLOAD_FIELDS: dict[str, tuple[str, ...]] = {
+    "attack": (
+        "seed",
+        "n_trials",
+        "chunk_size",
+        "location_indices",
+        "attacker",
+        "command",
+        "shield_present",
+        "metric",
+        "antenna_gain_dbi",
+    ),
+    "passive_ber": (
+        "seed",
+        "n_trials",
+        "chunk_size",
+        "location_indices",
+        "jam_margin_db",
+    ),
+    "mimo": (
+        "seed",
+        "n_trials",
+        "chunk_size",
+        "separations_m",
+        "n_antennas",
+        "sir_db",
+        "snr_db",
+        "packet_bits",
+    ),
+}
+
+
+def _testbed_location_indices() -> frozenset[int]:
+    """The location numbers the default Fig. 6 geometry defines.
+
+    Scenarios always compile against the default testbed, so an index
+    outside it would only fail deep inside a run; rejecting it at spec
+    time keeps the error at the CLI/registration boundary.
+    """
+    from repro.channel.geometry import TestbedGeometry
+
+    return frozenset(loc.index for loc in TestbedGeometry().locations)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named, validated, hashable experiment grid.
+
+    Only the fields relevant to ``kind`` participate in validation and
+    in the content hash; the rest keep their defaults and are ignored.
+    """
+
+    name: str
+    kind: str
+    title: str = ""
+    description: str = ""
+    tags: tuple[str, ...] = ()
+
+    # Monte-Carlo budget (all kinds).  ``n_trials`` is trials per grid
+    # point: attack trials, jammed packets, or MIMO attack attempts.
+    seed: int = 0
+    n_trials: int = 25
+    chunk_size: int | None = None
+
+    # Location axis (attack, passive_ber).
+    location_indices: tuple[int, ...] = tuple(range(1, 15))
+
+    # Attack axes.
+    attacker: str = "fcc"
+    command: str = "interrogate"
+    shield_present: bool = True
+    metric: str = "auto"
+    antenna_gain_dbi: float | None = None
+
+    # Passive axes.
+    jam_margin_db: float = 20.0
+
+    # MIMO axes.
+    separations_m: tuple[float, ...] = ()
+    n_antennas: int = 2
+    sir_db: float = -20.0
+    snr_db: float = 40.0
+    packet_bits: int = 256
+
+    def __post_init__(self) -> None:
+        # Normalise list-valued axes so equality and hashing are stable
+        # whatever sequence type the caller passed.
+        object.__setattr__(self, "tags", tuple(self.tags))
+        object.__setattr__(
+            self, "location_indices", tuple(self.location_indices)
+        )
+        object.__setattr__(
+            self, "separations_m", tuple(float(s) for s in self.separations_m)
+        )
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.name or not self.name.replace("-", "").isalnum():
+            raise ValueError(
+                f"scenario name must be a non-empty kebab-case slug, "
+                f"got {self.name!r}"
+            )
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown scenario kind {self.kind!r}; expected one of {_KINDS}"
+            )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ValueError(f"seed must be an integer, got {self.seed!r}")
+        if self.n_trials < 1:
+            raise ValueError(f"n_trials must be positive, got {self.n_trials}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError(
+                f"chunk_size must be positive or None, got {self.chunk_size}"
+            )
+        if self.kind in ("attack", "passive_ber"):
+            if not self.location_indices:
+                raise ValueError("scenario needs at least one location")
+            if len(set(self.location_indices)) != len(self.location_indices):
+                raise ValueError("location_indices must be unique")
+            known = _testbed_location_indices()
+            bad = [loc for loc in self.location_indices if loc not in known]
+            if bad:
+                raise ValueError(
+                    f"unknown testbed location(s) {bad}; the Fig. 6 geometry "
+                    f"numbers locations {min(known)}-{max(known)}"
+                )
+        if self.kind == "attack":
+            if self.attacker not in _ATTACKERS:
+                raise ValueError(
+                    f"unknown attacker {self.attacker!r}; "
+                    f"expected one of {_ATTACKERS}"
+                )
+            if self.command not in _COMMANDS:
+                raise ValueError(
+                    f"unknown command {self.command!r}; "
+                    f"expected one of {_COMMANDS}"
+                )
+            if self.metric not in ATTACK_METRICS:
+                raise ValueError(
+                    f"unknown metric {self.metric!r}; "
+                    f"expected one of {ATTACK_METRICS}"
+                )
+        if self.kind == "mimo":
+            if not self.separations_m:
+                raise ValueError("a MIMO scenario needs separations_m")
+            if any(s < 0 for s in self.separations_m):
+                raise ValueError("separations cannot be negative")
+            if self.n_antennas < 2:
+                raise ValueError("spatial nulling needs at least two antennas")
+            if self.packet_bits < 8:
+                raise ValueError("packet_bits must be at least 8")
+
+    # -- identity -------------------------------------------------------
+
+    def payload(self) -> dict:
+        """The canonical execution payload: what the content hash covers."""
+        out: dict = {"schema": SCHEMA_VERSION, "kind": self.kind}
+        for name in _PAYLOAD_FIELDS[self.kind]:
+            value = getattr(self, name)
+            out[name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+    def scenario_hash(self) -> str:
+        """Content address of this scenario's result namespace."""
+        canonical = json.dumps(self.payload(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+    # -- derived views --------------------------------------------------
+
+    def axis_values(self) -> tuple:
+        """The grid axis this scenario sweeps (locations or separations)."""
+        if self.kind == "mimo":
+            return self.separations_m
+        return self.location_indices
+
+    def grid_size(self) -> int:
+        return len(self.axis_values())
+
+    def override(self, **changes) -> "Scenario":
+        """A copy with fields replaced (re-validated, re-hashed).
+
+        The canonical way for examples and the CLI to narrow a
+        registered scenario (fewer locations, a different seed) while
+        keeping every other axis -- the new spec gets its own cache
+        namespace automatically.
+
+        Fields that do not participate in the target kind's execution
+        payload are rejected rather than silently ignored: overriding
+        ``location_indices`` on a MIMO scenario would otherwise change
+        nothing (and no cache namespace) while looking like it narrowed
+        the grid.
+        """
+        known = {f.name for f in fields(self)}
+        unknown = set(changes) - known
+        if unknown:
+            raise ValueError(f"unknown scenario fields: {sorted(unknown)}")
+        kind = changes.get("kind", self.kind)
+        if kind in _PAYLOAD_FIELDS:
+            display = {"name", "kind", "title", "description", "tags"}
+            inapplicable = set(changes) - display - set(_PAYLOAD_FIELDS[kind])
+            if inapplicable:
+                raise ValueError(
+                    f"field(s) {sorted(inapplicable)} do not apply to a "
+                    f"{kind!r} scenario and would be silently ignored"
+                )
+        return replace(self, **changes)
+
+    def summary(self) -> str:
+        """One human line: what this scenario actually runs."""
+        if self.kind == "attack":
+            shield = "shield on" if self.shield_present else "shield off"
+            return (
+                f"{self.attacker} attacker, {self.command} command, {shield}, "
+                f"{len(self.location_indices)} locations x {self.n_trials} trials"
+            )
+        if self.kind == "passive_ber":
+            return (
+                f"passive eavesdropper at +{self.jam_margin_db:g} dB jamming, "
+                f"{len(self.location_indices)} locations x {self.n_trials} packets"
+            )
+        return (
+            f"{self.n_antennas}-antenna eavesdropper, "
+            f"{len(self.separations_m)} separations x {self.n_trials} attempts"
+        )

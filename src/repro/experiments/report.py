@@ -48,24 +48,34 @@ class _Row:
 
 @dataclass
 class ExperimentReport:
-    """A titled table of paper-vs-measured rows."""
+    """A titled four-column table of result rows.
+
+    The default column names keep the original paper-vs-measured
+    reading; campaign reports rename them (e.g. location / success /
+    alarm / note) via ``headers``.
+    """
 
     title: str
     rows: list[_Row] = field(default_factory=list)
+    headers: tuple[str, str, str, str] = ("quantity", "paper", "measured", "note")
 
     def add(self, label: str, paper: str, measured: str, note: str = "") -> None:
         self.rows.append(_Row(label, paper, measured, note))
 
+    def _widths(self) -> tuple[int, int, int]:
+        label_w = max([len(self.headers[0])] + [len(r.label) for r in self.rows])
+        paper_w = max([len(self.headers[1])] + [len(r.paper) for r in self.rows])
+        meas_w = max([len(self.headers[2])] + [len(r.measured) for r in self.rows])
+        return label_w, paper_w, meas_w
+
     def render(self) -> str:
         if not self.rows:
             return f"== {self.title} ==\n(no rows)"
-        label_w = max(len(r.label) for r in self.rows + [_Row("quantity", "", "", "")])
-        paper_w = max(len(r.paper) for r in self.rows + [_Row("", "paper", "", "")])
-        meas_w = max(len(r.measured) for r in self.rows + [_Row("", "", "measured", "")])
+        label_w, paper_w, meas_w = self._widths()
         lines = [f"== {self.title} =="]
         header = (
-            f"{'quantity':<{label_w}}  {'paper':<{paper_w}}  "
-            f"{'measured':<{meas_w}}  note"
+            f"{self.headers[0]:<{label_w}}  {self.headers[1]:<{paper_w}}  "
+            f"{self.headers[2]:<{meas_w}}  {self.headers[3]}"
         )
         lines.append(header)
         lines.append("-" * len(header))
@@ -73,6 +83,25 @@ class ExperimentReport:
             lines.append(
                 f"{r.label:<{label_w}}  {r.paper:<{paper_w}}  "
                 f"{r.measured:<{meas_w}}  {r.note}"
+            )
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """The same table as GitHub-flavored markdown."""
+        def cell(text: str) -> str:
+            return text.replace("|", "\\|")
+
+        lines = [f"### {self.title}", ""]
+        if not self.rows:
+            lines.append("(no rows)")
+            return "\n".join(lines)
+        lines.append("| " + " | ".join(cell(h) for h in self.headers) + " |")
+        lines.append("|" + "---|" * len(self.headers))
+        for r in self.rows:
+            lines.append(
+                "| "
+                + " | ".join(cell(c) for c in (r.label, r.paper, r.measured, r.note))
+                + " |"
             )
         return "\n".join(lines)
 

@@ -28,7 +28,21 @@ from repro.experiments.testbed import AttackTestbed
 from repro.runtime import SweepExecutor, chunk_sizes
 from repro.runtime.seeding import unit_seed_sequence
 
-__all__ = ["LocationResult", "attack_success_sweep", "highpower_sweep"]
+__all__ = [
+    "ATTACK_METRICS",
+    "AttackChunkSpec",
+    "LocationResult",
+    "attack_success_sweep",
+    "highpower_sweep",
+    "plan_attack_chunks",
+    "reduce_attack_counts",
+    "run_attack_chunk",
+]
+
+#: Outcome fields a sweep may count as a "win"; ``"auto"`` selects the
+#: paper's metric for the command (therapy changes for ``"therapy"``,
+#: IMD replies for ``"interrogate"``).
+ATTACK_METRICS = ("auto", "imd_responded", "therapy_changed", "imd_accepted")
 
 
 @dataclass(frozen=True)
@@ -48,14 +62,16 @@ class LocationResult:
 
 
 @dataclass(frozen=True)
-class _ChunkSpec:
+class AttackChunkSpec:
     """One self-contained work unit: a block of trials at one location.
 
     Everything a worker needs travels in the spec (it must survive
     pickling into a process pool); ``seed`` is either the legacy integer
     for a whole-location block or the chunk's own
     :class:`numpy.random.SeedSequence` when a location's trials are
-    sharded.
+    sharded.  ``chunk_index`` is the block's position inside its
+    location's trial plan (callers that cache per-unit results key on
+    it).
     """
 
     location_index: int
@@ -65,9 +81,11 @@ class _ChunkSpec:
     shield_present: bool
     antenna_gain_dbi: float | None
     seed: int | np.random.SeedSequence
+    metric: str = "auto"
+    chunk_index: int = 0
 
 
-def _run_chunk(spec: _ChunkSpec) -> tuple[int, int]:
+def run_attack_chunk(spec: AttackChunkSpec) -> tuple[int, int]:
     """Evaluate one work unit: (successes, alarms) over its trials."""
     bed = AttackTestbed(
         location_index=spec.location_index,
@@ -80,15 +98,15 @@ def _run_chunk(spec: _ChunkSpec) -> tuple[int, int]:
         observer_enabled=False,
     )
     outcomes = bed.run_trials(spec.n_trials, command=spec.command)
-    if spec.command == "therapy":
-        wins = sum(o.therapy_changed for o in outcomes)
-    else:
-        wins = sum(o.imd_responded for o in outcomes)
+    metric = spec.metric
+    if metric == "auto":
+        metric = "therapy_changed" if spec.command == "therapy" else "imd_responded"
+    wins = sum(getattr(o, metric) for o in outcomes)
     alarms = sum(o.alarm_raised for o in outcomes)
     return wins, alarms
 
 
-def _plan_chunks(
+def plan_attack_chunks(
     location_indices: tuple[int, ...],
     n_trials: int,
     command: str,
@@ -97,7 +115,8 @@ def _plan_chunks(
     antenna_gain_dbi: float | None,
     seed: int,
     chunk_size: int | None,
-) -> list[_ChunkSpec]:
+    metric: str = "auto",
+) -> list[AttackChunkSpec]:
     """The deterministic work plan of one sweep.
 
     A whole-location chunk keeps the historical ``seed + location``
@@ -108,7 +127,13 @@ def _plan_chunks(
     depends only on the plan coordinates -- never on workers or
     scheduling.
     """
-    plan: list[_ChunkSpec] = []
+    if command not in ("interrogate", "therapy"):
+        raise ValueError(f"unknown command {command!r}")
+    if metric not in ATTACK_METRICS:
+        raise ValueError(
+            f"unknown metric {metric!r}; expected one of {ATTACK_METRICS}"
+        )
+    plan: list[AttackChunkSpec] = []
     for location in location_indices:
         sizes = chunk_sizes(n_trials, chunk_size)
         for chunk_index, size in enumerate(sizes):
@@ -117,7 +142,7 @@ def _plan_chunks(
             else:
                 chunk_seed = unit_seed_sequence(seed, (location, chunk_index))
             plan.append(
-                _ChunkSpec(
+                AttackChunkSpec(
                     location_index=location,
                     n_trials=size,
                     command=command,
@@ -125,9 +150,39 @@ def _plan_chunks(
                     shield_present=shield_present,
                     antenna_gain_dbi=antenna_gain_dbi,
                     seed=chunk_seed,
+                    metric=metric,
+                    chunk_index=chunk_index,
                 )
             )
     return plan
+
+
+def reduce_attack_counts(
+    plan: list[AttackChunkSpec],
+    counts: list[tuple[int, int]],
+    n_trials: int,
+    location_indices: tuple[int, ...],
+) -> dict[int, LocationResult]:
+    """Fold per-chunk (wins, alarms) counts into per-location results.
+
+    The reduction is order-independent over chunks of the same location,
+    so any execution order (serial, pooled, cached-then-resumed) yields
+    the same :class:`LocationResult` values.
+    """
+    wins: dict[int, int] = {loc: 0 for loc in location_indices}
+    alarms: dict[int, int] = {loc: 0 for loc in location_indices}
+    for spec, (chunk_wins, chunk_alarms) in zip(plan, counts):
+        wins[spec.location_index] += chunk_wins
+        alarms[spec.location_index] += chunk_alarms
+    return {
+        location: LocationResult(
+            location_index=location,
+            success_probability=wins[location] / n_trials,
+            alarm_probability=alarms[location] / n_trials,
+            n_trials=n_trials,
+        )
+        for location in location_indices
+    }
 
 
 def attack_success_sweep(
@@ -154,12 +209,10 @@ def attack_success_sweep(
     workers.  Any worker count returns identical results for the same
     arguments.
     """
-    if command not in ("interrogate", "therapy"):
-        raise ValueError(f"unknown command {command!r}")
     # Results are keyed by location, so duplicate indices collapse to one
     # entry (and must not double-count their trials in the reduction).
     location_indices = tuple(dict.fromkeys(location_indices))
-    plan = _plan_chunks(
+    plan = plan_attack_chunks(
         location_indices,
         n_trials,
         command,
@@ -169,21 +222,8 @@ def attack_success_sweep(
         seed,
         chunk_size,
     )
-    counts = SweepExecutor(workers).map(_run_chunk, plan)
-    wins: dict[int, int] = {loc: 0 for loc in location_indices}
-    alarms: dict[int, int] = {loc: 0 for loc in location_indices}
-    for spec, (chunk_wins, chunk_alarms) in zip(plan, counts):
-        wins[spec.location_index] += chunk_wins
-        alarms[spec.location_index] += chunk_alarms
-    return {
-        location: LocationResult(
-            location_index=location,
-            success_probability=wins[location] / n_trials,
-            alarm_probability=alarms[location] / n_trials,
-            n_trials=n_trials,
-        )
-        for location in location_indices
-    }
+    counts = SweepExecutor(workers).map(run_attack_chunk, plan)
+    return reduce_attack_counts(plan, counts, n_trials, location_indices)
 
 
 def highpower_sweep(

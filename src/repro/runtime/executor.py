@@ -39,8 +39,15 @@ def resolve_workers(workers: int | None = None) -> int:
             workers = int(raw)
         except ValueError:
             raise ValueError(
-                f"{WORKERS_ENV} must be an integer, got {raw!r}"
+                f"{WORKERS_ENV} must be a non-negative integer "
+                f"(e.g. REPRO_WORKERS=4), got {raw!r}"
             ) from None
+        if workers < 0:
+            raise ValueError(
+                f"{WORKERS_ENV} cannot be negative, got {raw!r}"
+            )
+    if not isinstance(workers, int) or isinstance(workers, bool):
+        raise ValueError(f"workers must be an integer, got {workers!r}")
     if workers < 0:
         raise ValueError(f"workers cannot be negative (got {workers})")
     return max(1, workers)

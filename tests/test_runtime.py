@@ -35,12 +35,32 @@ class TestResolveWorkers:
 
     def test_rejects_garbage_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "many")
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
             resolve_workers()
+
+    def test_rejects_float_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2.5")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers()
+
+    def test_rejects_negative_env(self, monkeypatch):
+        """A negative env value must name the variable, not raise a bare
+        'workers cannot be negative' with no hint where it came from."""
+        monkeypatch.setenv("REPRO_WORKERS", "-2")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers()
+
+    def test_whitespace_env_is_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "   ")
+        assert resolve_workers() == 1
 
     def test_rejects_negative(self):
         with pytest.raises(ValueError):
             resolve_workers(-1)
+
+    def test_rejects_non_integer_workers(self):
+        with pytest.raises(ValueError, match="integer"):
+            resolve_workers(2.5)
 
 
 class TestSweepExecutor:
