@@ -18,7 +18,15 @@ budget.  This package makes that space declarative and operable:
   units and reduces cached + fresh results to bit-identical numbers in
   any execution order;
 * :mod:`repro.campaigns.cli` -- the ``python -m repro`` command
-  (``list`` / ``run`` / ``status`` / ``compare``).
+  (``list`` / ``run`` / ``status`` / ``compare`` / ``validate``).
+
+The registry also carries the *golden-figure expectation table*
+(:func:`registry.expectations_for`): declarative
+:class:`~repro.stats.expectations.Expectation` records stating what the
+paper's figures demand of every scenario's numbers.  ``python -m repro
+validate`` judges runs against it -- fixed-budget or adaptive-precision
+(:class:`~repro.stats.adaptive.AdaptiveScheduler`) -- see
+``docs/validation.md``.
 
 Future scaling work (sharding campaigns across machines, alternate
 backends, distributed workers) should extend this package: everything
@@ -33,6 +41,8 @@ from repro.campaigns.runner import (
     CampaignRunner,
     CampaignStatus,
     CampaignUnit,
+    evaluate_unit,
+    plan_scenario_units,
 )
 from repro.campaigns.spec import Scenario
 
@@ -44,5 +54,7 @@ __all__ = [
     "ResultCache",
     "Scenario",
     "default_cache_dir",
+    "evaluate_unit",
+    "plan_scenario_units",
     "registry",
 ]

@@ -1,19 +1,28 @@
 """The ``python -m repro`` command-line interface.
 
-Four subcommands operate the campaign subsystem::
+Five subcommands operate the campaign subsystem::
 
     python -m repro list                         # what can be run
     python -m repro run attack-success-shielded  # run (resumes from cache)
     python -m repro status attack-success-shielded
     python -m repro compare attack-success-unshielded attack-success-shielded
+    python -m repro validate                     # golden-figure check
 
-``run`` and ``compare`` emit text (default), markdown, or JSON via
-:class:`repro.experiments.report.ExperimentReport`, so figures drop
-straight into terminals, PR descriptions, or downstream tooling.
+``run``, ``compare``, and ``validate`` emit text (default), markdown,
+or JSON via :class:`repro.experiments.report.ExperimentReport`, so
+figures drop straight into terminals, PR descriptions, or downstream
+tooling.
 
-Killing a ``run`` mid-campaign is safe: completed work units are already
-on disk, and the next invocation completes from cache with bit-identical
-final numbers (same seeds) to an uninterrupted run.
+``validate`` judges scenarios against the registry's golden-figure
+expectation table (see docs/validation.md) and exits non-zero when a
+paper claim is refuted -- with ``--adaptive`` it lets the
+:class:`~repro.stats.adaptive.AdaptiveScheduler` choose trial counts to
+hit a stated precision instead of running the fixed budget.
+
+Killing a ``run`` (or ``validate``) mid-campaign is safe: completed
+work units are already on disk, and the next invocation completes from
+cache with bit-identical final numbers (same seeds) to an uninterrupted
+run.
 """
 
 from __future__ import annotations
@@ -28,8 +37,23 @@ from repro.campaigns.runner import CampaignResult, CampaignRunner
 from repro.campaigns.spec import Scenario
 from repro.experiments.metrics import success_probability
 from repro.experiments.report import ExperimentReport
+from repro.stats.adaptive import AdaptivePolicy
+from repro.stats.validation import (
+    ScenarioValidation,
+    ValidationReport,
+    validate_scenario,
+)
 
 __all__ = ["main"]
+
+#: ``validate --budget`` presets: fixed trials per grid point (None =
+#: the scenario's registered budget) and whether to shrink the grid to
+#: three representative cells (first / middle / last).
+_BUDGETS = {
+    "smoke": {"n_trials": 4, "shrink_grid": True},
+    "default": {"n_trials": None, "shrink_grid": False},
+    "full": {"n_trials": 100, "shrink_grid": False},
+}
 
 
 def _resolve(name: str) -> Scenario:
@@ -123,6 +147,72 @@ def _emit(report: ExperimentReport, payload: dict, fmt: str) -> None:
         print(report.render_markdown())
     else:
         print(report.render())
+
+
+def _budget_scenario(scenario: Scenario, budget: str) -> Scenario:
+    """Apply a ``validate --budget`` preset to a registered scenario."""
+    preset = _BUDGETS[budget]
+    changes: dict = {}
+    if preset["n_trials"] is not None:
+        changes["n_trials"] = preset["n_trials"]
+    if preset["shrink_grid"]:
+        axes = scenario.axis_values()
+        picks = sorted({0, len(axes) // 2, len(axes) - 1})
+        subset = tuple(axes[i] for i in picks)
+        if scenario.kind == "mimo":
+            changes["separations_m"] = subset
+        else:
+            changes["location_indices"] = subset
+    if not changes:
+        return scenario
+    return scenario.override(**changes)
+
+
+def _validation_report(validation: ScenarioValidation) -> ExperimentReport:
+    """One scenario's expectation verdicts as a renderable table."""
+    scenario = validation.scenario
+    mode = "adaptive" if validation.adaptive else "fixed"
+    report = ExperimentReport(
+        f"{scenario.name} [{mode}] -- {validation.verdict.upper()}",
+        headers=("expectation", "verdict", "measured", "note"),
+    )
+    for outcome in validation.outcomes:
+        judged = [c for c in outcome.cells if c.n > 0]
+        if judged:
+            estimates = [c.estimate for c in judged]
+            ns = [c.n for c in judged]
+            measured = f"{min(estimates):.3f}..{max(estimates):.3f}"
+            measured += (
+                f" (n={min(ns)})" if min(ns) == max(ns)
+                else f" (n={min(ns)}-{max(ns)})"
+            )
+        else:
+            measured = "(no cells)"
+        verdict = outcome.verdict.upper()
+        if outcome.confirmed:
+            verdict += "*"
+        note = outcome.expectation.note
+        if outcome.skipped_axes:
+            skipped = ", ".join(str(a) for a in outcome.skipped_axes)
+            note = f"[skipped axes: {skipped}] {note}"
+        report.add(outcome.expectation.describe(), verdict, measured, note)
+    return report
+
+
+def _validation_footer(validation: ScenarioValidation) -> str:
+    parts = [
+        f"trials: {validation.trials_used}",
+    ]
+    if validation.adaptive:
+        parts.append(f"fixed budget would be {validation.fixed_trials}")
+        parts.append(f"rounds: {validation.rounds}")
+        if not validation.converged:
+            parts.append("some cells hit max-trials before converging")
+    parts.append(
+        f"units: {validation.computed_units} computed, "
+        f"{validation.cached_units} from cache"
+    )
+    return " -- ".join(parts)
 
 
 # ----------------------------------------------------------------------
@@ -240,6 +330,69 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    names = args.scenarios or registry.names_with_expectations()
+    if not names:
+        raise SystemExit("error: no scenarios have registered expectations")
+    policy_fields: dict = {}
+    if args.precision is not None:
+        policy_fields["precision"] = args.precision
+    if args.confidence is not None:
+        policy_fields["confidence"] = args.confidence
+    if args.interval is not None:
+        policy_fields["method"] = args.interval
+    if args.round_size is not None:
+        policy_fields["round_size"] = args.round_size
+    if args.min_trials is not None:
+        policy_fields["min_trials"] = args.min_trials
+    if args.max_trials is not None:
+        policy_fields["max_trials"] = args.max_trials
+    try:
+        policy = AdaptivePolicy(**policy_fields)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+    report = ValidationReport(strict=args.strict)
+    for name in names:
+        scenario = _budget_scenario(_resolve(name), args.budget)
+        expectations = registry.expectations_for(name)
+        if not expectations:
+            raise SystemExit(
+                f"error: scenario {name!r} has no registered expectations"
+            )
+        try:
+            validation = validate_scenario(
+                scenario,
+                expectations,
+                adaptive=args.adaptive,
+                policy=policy,
+                cache_dir=args.cache_dir,
+                workers=args.workers,
+                persist=not args.no_cache,
+                confidence=args.confidence,
+            )
+        except ValueError as exc:  # e.g. bad --workers
+            raise SystemExit(f"error: {exc}") from None
+        report.scenarios.append(validation)
+
+    if args.format == "json":
+        print(json.dumps(report.to_payload(), indent=2, sort_keys=True))
+    else:
+        render = (
+            (lambda r: r.render_markdown())
+            if args.format == "markdown"
+            else (lambda r: r.render())
+        )
+        for validation in report.scenarios:
+            print(render(_validation_report(validation)))
+            print(_validation_footer(validation))
+            print()
+        print(report.summary())
+        if not report.passed and report.verdict != "fail":
+            print("(inconclusive under --strict: more trials would settle it)")
+    return 0 if report.passed else 1
+
+
 # ----------------------------------------------------------------------
 # Argument parsing
 # ----------------------------------------------------------------------
@@ -320,6 +473,56 @@ def build_parser() -> argparse.ArgumentParser:
     _add_override_args(p_cmp)
     _add_execution_args(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
+
+    p_val = sub.add_parser(
+        "validate",
+        help="judge scenarios against the golden-figure expectation table",
+    )
+    p_val.add_argument(
+        "scenarios", nargs="*",
+        help="scenario names (default: every scenario with expectations)",
+    )
+    p_val.add_argument(
+        "--adaptive", action="store_true",
+        help="adaptive-precision execution: stop each cell at its CI target "
+             "instead of running the fixed trial budget",
+    )
+    p_val.add_argument(
+        "--budget", choices=tuple(_BUDGETS), default="default",
+        help="fixed-budget preset: smoke (4 trials, 3 cells -- CI gate), "
+             "default (registered budget), full (100 trials per cell)",
+    )
+    p_val.add_argument(
+        "--precision", type=float, default=None,
+        help="target CI half-width for every metric (default: per-metric "
+             "targets, 0.10 for probabilities / 0.02 for BER)",
+    )
+    p_val.add_argument(
+        "--confidence", type=float, default=None,
+        help="confidence level for intervals and verdicts (default 0.95)",
+    )
+    p_val.add_argument(
+        "--interval", choices=("wilson", "jeffreys"), default=None,
+        help="proportion-interval construction (default jeffreys)",
+    )
+    p_val.add_argument(
+        "--round-size", type=int, default=None,
+        help="adaptive trials per cell per round (default 6)",
+    )
+    p_val.add_argument(
+        "--min-trials", type=int, default=None,
+        help="adaptive floor per cell before stopping (default 6)",
+    )
+    p_val.add_argument(
+        "--max-trials", type=int, default=None,
+        help="adaptive budget cap per cell (default 100)",
+    )
+    p_val.add_argument(
+        "--strict", action="store_true",
+        help="treat inconclusive verdicts (CI straddles a bound) as failures",
+    )
+    _add_execution_args(p_val)
+    p_val.set_defaults(func=_cmd_validate)
 
     return parser
 

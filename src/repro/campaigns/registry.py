@@ -16,21 +16,46 @@ Registering a new scenario is one :func:`register` call with a
 :class:`~repro.campaigns.spec.Scenario`; the campaign runner, cache,
 CLI, and examples all resolve scenarios from here, so a registered name
 is immediately runnable, resumable, and comparable.
+
+The registry also holds the *golden-figure expectation table*
+(:func:`register_expectations` / :func:`expectations_for`): declarative
+:class:`~repro.stats.expectations.Expectation` records stating what the
+paper's figures demand of each scenario's numbers.  ``python -m repro
+validate`` judges runs against it; see docs/validation.md.
 """
 
 from __future__ import annotations
 
 from repro.campaigns.spec import Scenario
+from repro.stats.adaptive import scenario_metrics
+from repro.stats.expectations import Expectation
 
-__all__ = ["register", "get", "names", "all_scenarios"]
+__all__ = [
+    "register",
+    "get",
+    "names",
+    "all_scenarios",
+    "register_expectations",
+    "expectations_for",
+    "names_with_expectations",
+]
 
 _REGISTRY: dict[str, Scenario] = {}
+_EXPECTATIONS: dict[str, tuple[Expectation, ...]] = {}
 
 
 def register(scenario: Scenario, *, allow_replace: bool = False) -> Scenario:
-    """Add a scenario to the registry (names are unique)."""
+    """Add a scenario to the registry (names are unique).
+
+    Replacing a scenario drops its expectation table: expectations are
+    validated against the grid they were registered for, and silently
+    carrying them onto a different grid would skip (never judge) any
+    claim whose axes no longer exist.  Re-register expectations after
+    replacing.
+    """
     if scenario.name in _REGISTRY and not allow_replace:
         raise ValueError(f"scenario {scenario.name!r} is already registered")
+    _EXPECTATIONS.pop(scenario.name, None)
     _REGISTRY[scenario.name] = scenario
     return scenario
 
@@ -52,6 +77,56 @@ def names() -> list[str]:
 
 def all_scenarios() -> list[Scenario]:
     return [_REGISTRY[name] for name in names()]
+
+
+def register_expectations(
+    name: str, *expectations: Expectation, allow_replace: bool = False
+) -> tuple[Expectation, ...]:
+    """Attach golden-figure expectations to a registered scenario.
+
+    Expectations are validated against the scenario at registration
+    time -- the metric must be one the scenario's kind measures, and any
+    named axes must exist on its grid -- so a typo fails here, at the
+    registration boundary, not deep inside a validate run.
+    """
+    scenario = get(name)
+    if not expectations:
+        raise ValueError(f"no expectations given for scenario {name!r}")
+    if name in _EXPECTATIONS and not allow_replace:
+        raise ValueError(
+            f"scenario {name!r} already has registered expectations"
+        )
+    # The same mapping the adaptive scheduler enforces at run time, so
+    # registration-time checks can never drift from execution reality.
+    known_metrics = scenario_metrics(scenario.kind)
+    grid = set(scenario.axis_values())
+    for expectation in expectations:
+        if expectation.metric not in known_metrics:
+            raise ValueError(
+                f"metric {expectation.metric!r} is not measured by the "
+                f"{scenario.kind!r} scenario {name!r}; "
+                f"expected one of {known_metrics}"
+            )
+        if expectation.axes is not None:
+            missing = [a for a in expectation.axes if a not in grid]
+            if missing:
+                raise ValueError(
+                    f"expectation on {name!r} names grid point(s) "
+                    f"{missing} the scenario does not sweep"
+                )
+    _EXPECTATIONS[name] = tuple(expectations)
+    return _EXPECTATIONS[name]
+
+
+def expectations_for(name: str) -> tuple[Expectation, ...]:
+    """The golden-figure expectations of a scenario (may be empty)."""
+    get(name)  # surface unknown names with the standard error
+    return _EXPECTATIONS.get(name, ())
+
+
+def names_with_expectations() -> list[str]:
+    """Registered scenarios that have a golden-figure table."""
+    return sorted(_EXPECTATIONS)
 
 
 def _register_builtins() -> None:
@@ -208,4 +283,130 @@ def _register_builtins() -> None:
     ))
 
 
+def _register_builtin_expectations() -> None:
+    """The golden-figure table: the paper's claims, machine-checkable.
+
+    Values and tolerances come from the paper's figures; axes pick the
+    grid points where each claim is unambiguous (transition-region
+    locations, where the success curve crosses 50%, are deliberately
+    left unjudged -- they are the statistically noisiest cells and the
+    paper makes no sharp claim about them).  ``python -m repro
+    validate`` evaluates this table; see docs/validation.md.
+    """
+    register_expectations(
+        "passive-ber-by-location",
+        Expectation(
+            metric="ber", kind="ci_overlap", value=0.5, tolerance=0.05,
+            note="Fig. 9: under shaped jamming the eavesdropper decodes "
+                 "~coin flips at every location",
+        ),
+    )
+    register_expectations(
+        "attack-success-unshielded",
+        Expectation(
+            metric="success_probability", kind="lower_bound", value=0.9,
+            axes=(1, 2, 3, 4, 5, 6),
+            note="Fig. 12: the bare IMD is reliably compromised out to "
+                 "several metres",
+        ),
+        Expectation(
+            metric="success_probability", kind="upper_bound", value=0.05,
+            axes=(10, 11, 12, 13, 14),
+            note="Fig. 12: path loss alone ends the attack at the far "
+                 "NLOS locations",
+        ),
+    )
+    register_expectations(
+        "attack-success-shielded",
+        Expectation(
+            metric="success_probability", kind="upper_bound", value=0.05,
+            note="Fig. 12: >99% attack-packet rejection -- the reactive "
+                 "jammer holds success at zero everywhere",
+        ),
+    )
+    register_expectations(
+        "highpower-unshielded",
+        Expectation(
+            metric="success_probability", kind="lower_bound", value=0.9,
+            axes=(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11),
+            note="Fig. 13: 100x power plus a directional antenna "
+                 "compromises the bare IMD across the room",
+        ),
+        Expectation(
+            metric="success_probability", kind="upper_bound", value=0.05,
+            axes=(15, 16, 17, 18),
+            note="Fig. 13: even 100x power dies at the farthest NLOS spots",
+        ),
+    )
+    register_expectations(
+        "highpower-shielded",
+        Expectation(
+            metric="success_probability", kind="lower_bound", value=0.9,
+            axes=(1, 2),
+            note="Fig. 13: raw power beats jamming only from nearby "
+                 "line-of-sight spots (the intrinsic limitation)",
+        ),
+        Expectation(
+            metric="success_probability", kind="upper_bound", value=0.05,
+            axes=tuple(range(7, 19)),
+            note="Fig. 13: beyond a few metres the shield holds even "
+                 "against 100x power",
+        ),
+        Expectation(
+            metric="alarm_probability", kind="lower_bound", value=0.9,
+            axes=(1, 2, 3, 4, 5, 6),
+            note="S6: every dangerous transmission near the patient "
+                 "raises the audible alarm",
+        ),
+    )
+    register_expectations(
+        "battery-drain-unshielded",
+        Expectation(
+            metric="success_probability", kind="lower_bound", value=0.9,
+            axes=(1, 2, 3, 4, 5, 6),
+            note="Battery-DoS (arXiv:1904.06893): the bare IMD answers "
+                 "every interrogation at close range",
+        ),
+        Expectation(
+            metric="success_probability", kind="upper_bound", value=0.05,
+            axes=(10, 11, 12, 13, 14),
+            note="Battery-DoS: the drain needs link margin; far NLOS "
+                 "locations are safe",
+        ),
+    )
+    register_expectations(
+        "battery-drain-shielded",
+        Expectation(
+            metric="success_probability", kind="upper_bound", value=0.05,
+            note="Battery-DoS: the shield stops the drain before it "
+                 "starts -- the IMD never decodes the interrogation",
+        ),
+    )
+    register_expectations(
+        "crypto-only-baseline",
+        Expectation(
+            metric="success_probability", kind="lower_bound", value=0.9,
+            axes=(1, 2, 3, 4, 5, 6),
+            note="IMDfence: authentication cannot stop packet delivery; "
+                 "the receive/verify energy drain remains",
+        ),
+    )
+    register_expectations(
+        "mimo-eavesdropper",
+        Expectation(
+            metric="ber", kind="lower_bound", value=0.3,
+            axes=(0.02,),
+            note="S3.2: worn centimetres from the implant, jam-subspace "
+                 "projection still leaves near coin flips",
+        ),
+        Expectation(
+            metric="ber", kind="upper_bound", value=0.15,
+            axes=(0.25, 0.37),
+            note="S3.2: at half a wavelength of separation, projection "
+                 "recovers the telemetry",
+        ),
+    )
+
+
 _register_builtins()
+_register_builtin_expectations()

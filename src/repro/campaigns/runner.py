@@ -4,9 +4,10 @@
 into the same deterministic work plan the sweep helpers use -- one
 picklable spec per (grid point, trial chunk), each carrying its own RNG
 stream -- fans the pending units across a
-:class:`~repro.runtime.SweepExecutor`, and persists every completed unit
-to a :class:`~repro.campaigns.cache.ResultCache` as soon as its batch
-finishes.  Because unit results are pure functions of (scenario payload,
+:class:`~repro.runtime.SweepExecutor` (streaming: results are consumed
+in unit order as they complete), and persists every completed unit to a
+:class:`~repro.campaigns.cache.ResultCache` as soon as it finishes.
+Because unit results are pure functions of (scenario payload,
 plan coordinates), a re-run skips every cached unit and an interrupted
 campaign resumes where it stopped; the reduction is order-independent,
 so cached + fresh unit mixes reduce to *bit-identical* numbers versus an
@@ -35,13 +36,17 @@ from repro.experiments.sweeps import (
     run_attack_chunk,
 )
 from repro.runtime import SweepExecutor, chunk_sizes
-from repro.runtime.seeding import unit_seed_sequence
+from repro.runtime.seeding import round_seed_sequence, unit_seed_sequence
 
 __all__ = [
     "CampaignRunner",
     "CampaignResult",
     "CampaignStatus",
     "CampaignUnit",
+    "cell_label",
+    "evaluate_unit",
+    "location_label",
+    "plan_scenario_units",
 ]
 
 
@@ -74,7 +79,12 @@ class _MimoChunkSpec:
 
 
 def _run_passive_chunk(spec: _PassiveChunkSpec) -> dict:
-    """Evaluate one passive unit: summed eavesdropper BER over its block."""
+    """Evaluate one passive unit: eavesdropper BER moments over its block.
+
+    The sum of squares rides along so downstream statistics (confidence
+    intervals, adaptive stopping) can reconstruct the sample variance
+    from cached chunks without keeping per-packet values.
+    """
     from repro.experiments.waveform_lab import PassiveLab
 
     lab = PassiveLab(seed=spec.seed)
@@ -86,6 +96,7 @@ def _run_passive_chunk(spec: _PassiveChunkSpec) -> dict:
     )
     return {
         "ber_sum": float(np.sum(batch.eavesdropper_ber)),
+        "ber_sqsum": float(np.sum(np.square(batch.eavesdropper_ber))),
         "n_packets": spec.n_packets,
     }
 
@@ -103,6 +114,7 @@ def _run_mimo_chunk(spec: _MimoChunkSpec) -> dict:
         fsk.deviation_hz, fsk.bit_rate, fsk.sample_rate, rng=rng
     )
     ber_sum = 0.0
+    ber_sqsum = 0.0
     rejection_sum = 0.0
     for _ in range(spec.n_packets):
         bits = rng.integers(0, 2, size=spec.packet_bits)
@@ -115,15 +127,17 @@ def _run_mimo_chunk(spec: _MimoChunkSpec) -> dict:
             snr_db=spec.snr_db,
         )
         ber_sum += result.bit_error_rate
+        ber_sqsum += result.bit_error_rate**2
         rejection_sum += result.jam_rejection_db
     return {
         "ber_sum": ber_sum,
+        "ber_sqsum": ber_sqsum,
         "rejection_sum": rejection_sum,
         "n_packets": spec.n_packets,
     }
 
 
-def _evaluate_unit(spec) -> dict:
+def evaluate_unit(spec) -> dict:
     """Module-level dispatcher so every unit kind survives pickling."""
     if isinstance(spec, AttackChunkSpec):
         wins, alarms = run_attack_chunk(spec)
@@ -206,6 +220,151 @@ class CampaignResult:
 
 
 # ----------------------------------------------------------------------
+# Unit planning (shared by the runner and the adaptive scheduler)
+# ----------------------------------------------------------------------
+
+
+_GEOMETRY: TestbedGeometry | None = None
+
+
+def location_label(index: int) -> str:
+    """Human label of one Fig. 6 testbed location."""
+    global _GEOMETRY
+    if _GEOMETRY is None:
+        _GEOMETRY = TestbedGeometry()
+    location = _GEOMETRY.location(index)
+    kind = "LOS" if location.line_of_sight else "NLOS"
+    return f"location {index} ({location.distance_m:g} m {kind})"
+
+
+def cell_label(scenario: Scenario, axis) -> str:
+    """Human label of one grid point of a scenario."""
+    if scenario.kind == "mimo":
+        return f"separation {axis:.2f} m"
+    return location_label(axis)
+
+
+def plan_scenario_units(
+    scenario: Scenario,
+    positions: list[int] | None = None,
+    n_trials: int | None = None,
+    round_index: int | None = None,
+) -> list[CampaignUnit]:
+    """A scenario's deterministic work plan, in reduction order.
+
+    With only ``scenario`` this is the full fixed-budget plan the
+    campaign runner executes.  The keyword arguments carve out the round
+    plans adaptive-precision execution submits instead:
+
+    * ``positions`` restricts planning to a subset of grid cells (by
+      index into :meth:`Scenario.axis_values`);
+    * ``n_trials`` overrides the per-cell trial count (a round's chunk,
+      not the scenario's whole budget);
+    * ``round_index`` switches every unit's RNG stream to the round
+      spawn-key namespace and stamps the round into its cache
+      coordinates, so successive rounds extend a cell's sample with
+      fresh independent trials and resume bit-identically from cache.
+
+    Unit identity is always (cell, chunk, trial count[, round]) -- never
+    which cells happened to still be active -- so two runs that plan the
+    same unit get the same stream and the same cached result.
+    """
+    if positions is None:
+        positions = list(range(scenario.grid_size()))
+    trials = scenario.n_trials if n_trials is None else n_trials
+    if trials < 1:
+        raise ValueError(f"n_trials must be positive, got {trials}")
+    units: list[CampaignUnit] = []
+    for position in positions:
+        if scenario.kind == "attack":
+            location = scenario.location_indices[position]
+            for spec in plan_attack_chunks(
+                (location,),
+                trials,
+                scenario.command,
+                scenario.attacker,
+                scenario.shield_present,
+                scenario.antenna_gain_dbi,
+                scenario.seed,
+                scenario.chunk_size,
+                metric=scenario.metric,
+                round_index=round_index,
+            ):
+                coords = {
+                    "kind": "attack",
+                    "location": spec.location_index,
+                    "chunk": spec.chunk_index,
+                    "n_trials": spec.n_trials,
+                }
+                if round_index is not None:
+                    coords["round"] = round_index
+                units.append(CampaignUnit(unit_hash(coords), coords, spec))
+        elif scenario.kind == "passive_ber":
+            location = scenario.location_indices[position]
+            sizes = chunk_sizes(trials, scenario.chunk_size)
+            for chunk_index, size in enumerate(sizes):
+                if round_index is not None:
+                    seed: int | np.random.SeedSequence = round_seed_sequence(
+                        scenario.seed, location, round_index, chunk_index
+                    )
+                elif len(sizes) == 1:
+                    # Mirror the attack plan's seeding convention: a
+                    # whole-location block keeps the seed+location
+                    # scheme, sharded blocks get per-chunk streams.
+                    seed = scenario.seed + location
+                else:
+                    seed = unit_seed_sequence(
+                        scenario.seed, (location, chunk_index)
+                    )
+                coords = {
+                    "kind": "passive_ber",
+                    "location": location,
+                    "chunk": chunk_index,
+                    "n_trials": size,
+                }
+                if round_index is not None:
+                    coords["round"] = round_index
+                spec = _PassiveChunkSpec(
+                    location_index=location,
+                    n_packets=size,
+                    jam_margin_db=scenario.jam_margin_db,
+                    seed=seed,
+                )
+                units.append(CampaignUnit(unit_hash(coords), coords, spec))
+        else:  # mimo
+            separation = scenario.separations_m[position]
+            sizes = chunk_sizes(trials, scenario.chunk_size)
+            for chunk_index, size in enumerate(sizes):
+                if round_index is not None:
+                    seed = round_seed_sequence(
+                        scenario.seed, position, round_index, chunk_index
+                    )
+                else:
+                    seed = unit_seed_sequence(
+                        scenario.seed, (position, chunk_index)
+                    )
+                coords = {
+                    "kind": "mimo",
+                    "separation_index": position,
+                    "chunk": chunk_index,
+                    "n_trials": size,
+                }
+                if round_index is not None:
+                    coords["round"] = round_index
+                spec = _MimoChunkSpec(
+                    separation_m=separation,
+                    n_packets=size,
+                    packet_bits=scenario.packet_bits,
+                    n_antennas=scenario.n_antennas,
+                    sir_db=scenario.sir_db,
+                    snr_db=scenario.snr_db,
+                    seed=seed,
+                )
+                units.append(CampaignUnit(unit_hash(coords), coords, spec))
+    return units
+
+
+# ----------------------------------------------------------------------
 # The runner
 # ----------------------------------------------------------------------
 
@@ -249,78 +408,7 @@ class CampaignRunner:
 
     def plan(self) -> list[CampaignUnit]:
         """The scenario's deterministic work plan, in reduction order."""
-        scenario = self.scenario
-        units: list[CampaignUnit] = []
-        if scenario.kind == "attack":
-            for spec in plan_attack_chunks(
-                scenario.location_indices,
-                scenario.n_trials,
-                scenario.command,
-                scenario.attacker,
-                scenario.shield_present,
-                scenario.antenna_gain_dbi,
-                scenario.seed,
-                scenario.chunk_size,
-                metric=scenario.metric,
-            ):
-                coords = {
-                    "kind": "attack",
-                    "location": spec.location_index,
-                    "chunk": spec.chunk_index,
-                    "n_trials": spec.n_trials,
-                }
-                units.append(CampaignUnit(unit_hash(coords), coords, spec))
-        elif scenario.kind == "passive_ber":
-            for location in scenario.location_indices:
-                sizes = chunk_sizes(scenario.n_trials, scenario.chunk_size)
-                for chunk_index, size in enumerate(sizes):
-                    # Mirror the attack plan's seeding convention: a
-                    # whole-location block keeps the seed+location
-                    # scheme, sharded blocks get per-chunk streams.
-                    if len(sizes) == 1:
-                        seed: int | np.random.SeedSequence = (
-                            scenario.seed + location
-                        )
-                    else:
-                        seed = unit_seed_sequence(
-                            scenario.seed, (location, chunk_index)
-                        )
-                    coords = {
-                        "kind": "passive_ber",
-                        "location": location,
-                        "chunk": chunk_index,
-                        "n_trials": size,
-                    }
-                    spec = _PassiveChunkSpec(
-                        location_index=location,
-                        n_packets=size,
-                        jam_margin_db=scenario.jam_margin_db,
-                        seed=seed,
-                    )
-                    units.append(CampaignUnit(unit_hash(coords), coords, spec))
-        else:  # mimo
-            for index, separation in enumerate(scenario.separations_m):
-                sizes = chunk_sizes(scenario.n_trials, scenario.chunk_size)
-                for chunk_index, size in enumerate(sizes):
-                    coords = {
-                        "kind": "mimo",
-                        "separation_index": index,
-                        "chunk": chunk_index,
-                        "n_trials": size,
-                    }
-                    spec = _MimoChunkSpec(
-                        separation_m=separation,
-                        n_packets=size,
-                        packet_bits=scenario.packet_bits,
-                        n_antennas=scenario.n_antennas,
-                        sir_db=scenario.sir_db,
-                        snr_db=scenario.snr_db,
-                        seed=unit_seed_sequence(
-                            scenario.seed, (index, chunk_index)
-                        ),
-                    )
-                    units.append(CampaignUnit(unit_hash(coords), coords, spec))
-        return units
+        return plan_scenario_units(self.scenario)
 
     # -- execution -----------------------------------------------------
 
@@ -338,13 +426,6 @@ class CampaignRunner:
             total_units=len(units),
             cached_units=cached,
         )
-
-    def _batch_size(self) -> int:
-        # Serial runs flush after every unit, so an interrupt loses at
-        # most the unit in flight; parallel runs flush per pool batch.
-        if not self.executor.parallel:
-            return 1
-        return self.executor.workers * 2
 
     def materialize(
         self, limit: int | None = None, force: bool = False
@@ -399,17 +480,18 @@ class CampaignRunner:
         if limit is not None:
             pending = pending[:limit]
         computed = 0
-        batch_size = self._batch_size()
-        for start in range(0, len(pending), batch_size):
-            batch = pending[start : start + batch_size]
-            batch_results = self.executor.map(
-                _evaluate_unit, [u.spec for u in batch]
-            )
-            for unit, result in zip(batch, batch_results):
-                if self.cache is not None:
-                    self.cache.put(self.scenario, unit.key, unit.coords, result)
-                results[unit.key] = result
-                computed += 1
+        # Streaming submission: results arrive in unit order as they
+        # complete, and each is flushed to the cache immediately -- an
+        # interrupt loses at most the units still in flight, serial and
+        # parallel alike.
+        streamed = self.executor.imap(
+            evaluate_unit, [u.spec for u in pending]
+        )
+        for unit, result in zip(pending, streamed):
+            if self.cache is not None:
+                self.cache.put(self.scenario, unit.key, unit.coords, result)
+            results[unit.key] = result
+            computed += 1
         if not collect:
             return units, None, computed
         missing = [u.key for u in units if u.key not in results]
@@ -453,27 +535,38 @@ class CampaignRunner:
             ]
         if scenario.kind == "passive_ber":
             ber_sum: dict[int, float] = {}
+            ber_sqsum: dict[int, float] = {}
             packets: dict[int, int] = {}
             for unit, result in zip(units, results):
                 location = unit.coords["location"]
                 ber_sum[location] = ber_sum.get(location, 0.0) + result["ber_sum"]
+                ber_sqsum[location] = (
+                    ber_sqsum.get(location, 0.0) + result["ber_sqsum"]
+                )
                 packets[location] = packets.get(location, 0) + result["n_packets"]
             return [
                 {
                     "axis": location,
                     "label": self._location_label(location),
                     "ber": ber_sum[location] / packets[location],
+                    # Raw moments, so downstream statistics (confidence
+                    # intervals, golden-figure validation) never have to
+                    # reconstruct them from the mean.
+                    "ber_sum": ber_sum[location],
+                    "ber_sqsum": ber_sqsum[location],
                     "n_packets": packets[location],
                 }
                 for location in scenario.location_indices
             ]
         # mimo
         ber_sums: dict[int, float] = {}
+        ber_sqsums: dict[int, float] = {}
         rejection_sums: dict[int, float] = {}
         counts_by_sep: dict[int, int] = {}
         for unit, result in zip(units, results):
             index = unit.coords["separation_index"]
             ber_sums[index] = ber_sums.get(index, 0.0) + result["ber_sum"]
+            ber_sqsums[index] = ber_sqsums.get(index, 0.0) + result["ber_sqsum"]
             rejection_sums[index] = (
                 rejection_sums.get(index, 0.0) + result["rejection_sum"]
             )
@@ -485,17 +578,13 @@ class CampaignRunner:
                 "axis": separation,
                 "label": f"separation {separation:.2f} m",
                 "ber": ber_sums[index] / counts_by_sep[index],
+                "ber_sum": ber_sums[index],
+                "ber_sqsum": ber_sqsums[index],
                 "jam_rejection_db": rejection_sums[index] / counts_by_sep[index],
                 "n_packets": counts_by_sep[index],
             }
             for index, separation in enumerate(scenario.separations_m)
         ]
 
-    _geometry: TestbedGeometry | None = None
-
     def _location_label(self, index: int) -> str:
-        if self._geometry is None:
-            self._geometry = TestbedGeometry()
-        location = self._geometry.location(index)
-        kind = "LOS" if location.line_of_sight else "NLOS"
-        return f"location {index} ({location.distance_m:g} m {kind})"
+        return location_label(index)

@@ -34,9 +34,12 @@ from repro.experiments.sweeps import ATTACK_METRICS
 
 __all__ = ["Scenario", "SCHEMA_VERSION"]
 
-#: Bumped whenever the meaning of a payload field changes; part of the
-#: content hash, so old cache entries can never be misread as new ones.
-SCHEMA_VERSION = 1
+#: Bumped whenever the meaning of a payload field changes -- or the
+#: shape of stored unit results -- and part of the content hash, so old
+#: cache entries can never be misread as new ones.  v2: passive/MIMO
+#: unit results carry second moments (``ber_sqsum``) for confidence
+#: intervals and adaptive stopping.
+SCHEMA_VERSION = 2
 
 _KINDS = ("attack", "passive_ber", "mimo")
 _ATTACKERS = ("fcc", "highpower")

@@ -124,8 +124,11 @@ def calibrate_p_thresh(
             new_records = bed.shield.jam_records[records_before:]
             if new_records:
                 successful.append(new_records[-1].decision.rssi_dbm)
-    if not successful:
-        return PThreshCalibration([], None, None)
+    # summarize() needs >= 2 samples for a sample std, and a threshold
+    # calibrated from a single observation would be meaningless anyway:
+    # report the raw observations without a recommendation.
+    if len(successful) < 2:
+        return PThreshCalibration(successful, None, None)
     stats = summarize(successful)
     return PThreshCalibration(
         successful_rssi_dbm=successful,

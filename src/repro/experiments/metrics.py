@@ -1,20 +1,39 @@
-"""Statistics helpers shared by experiments and benchmarks."""
+"""Statistics helpers shared by experiments and benchmarks.
+
+Confidence-interval math lives in :mod:`repro.stats.intervals`; the
+helpers here are the thin sample-summary layer the benchmarks print.
+Degenerate inputs (empty or single-element samples, non-finite values)
+raise a clear :class:`ValueError` at the boundary instead of seeping
+through as numpy warnings and NaN statistics.
+"""
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.stats.intervals import wilson_interval
+
 __all__ = ["empirical_cdf", "summarize", "success_probability", "SummaryStats"]
+
+
+def _checked_sample(values, minimum: int, what: str) -> np.ndarray:
+    values = np.asarray(values, dtype=np.float64)
+    if values.size < minimum:
+        noun = "sample" if values.size == 1 else "samples"
+        raise ValueError(
+            f"cannot {what} from {values.size} {noun}; "
+            f"need at least {minimum}"
+        )
+    if not np.all(np.isfinite(values)):
+        raise ValueError(f"cannot {what} from non-finite samples")
+    return values
 
 
 def empirical_cdf(values: list[float] | np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Sorted values and their empirical CDF (the paper's CDF plots)."""
-    values = np.asarray(values, dtype=np.float64)
-    if values.size == 0:
-        raise ValueError("cannot build a CDF from no samples")
+    values = _checked_sample(values, 2, "build a CDF")
     ordered = np.sort(values)
     cdf = np.arange(1, len(ordered) + 1) / len(ordered)
     return ordered, cdf
@@ -38,12 +57,11 @@ class SummaryStats:
 
 
 def summarize(values: list[float] | np.ndarray) -> SummaryStats:
-    values = np.asarray(values, dtype=np.float64)
-    if values.size == 0:
-        raise ValueError("cannot summarise no samples")
+    """Sample summary; needs at least two samples for the ddof=1 std."""
+    values = _checked_sample(values, 2, "summarise")
     return SummaryStats(
         mean=float(values.mean()),
-        std=float(values.std(ddof=1)) if values.size > 1 else 0.0,
+        std=float(values.std(ddof=1)),
         minimum=float(values.min()),
         maximum=float(values.max()),
         count=int(values.size),
@@ -57,21 +75,10 @@ def success_probability(
 
     The attack benchmarks report probabilities from 100 trials per
     location, as the paper does; the interval shows what "0" or "1"
-    actually means at that sample size.
+    actually means at that sample size.  Delegates to
+    :func:`repro.stats.intervals.wilson_interval` -- any confidence in
+    (0, 1) works, and the historical 0.90/0.95/0.99 levels keep their
+    exact legacy z constants.
     """
-    if trials <= 0:
-        raise ValueError("trials must be positive")
-    if not 0 <= successes <= trials:
-        raise ValueError("successes must lie in [0, trials]")
-    z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}.get(confidence)
-    if z is None:
-        raise ValueError("supported confidence levels: 0.90, 0.95, 0.99")
-    p = successes / trials
-    denom = 1 + z**2 / trials
-    centre = (p + z**2 / (2 * trials)) / denom
-    half = (
-        z
-        * math.sqrt(p * (1 - p) / trials + z**2 / (4 * trials**2))
-        / denom
-    )
-    return p, max(0.0, centre - half), min(1.0, centre + half)
+    low, high = wilson_interval(successes, trials, confidence)
+    return successes / trials, low, high

@@ -23,10 +23,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.experiments.metrics import success_probability
 from repro.experiments.testbed import AttackTestbed
 from repro.runtime import SweepExecutor, chunk_sizes
-from repro.runtime.seeding import unit_seed_sequence
+from repro.runtime.seeding import round_seed_sequence, unit_seed_sequence
+from repro.stats.intervals import wilson_interval
 
 __all__ = [
     "ATTACK_METRICS",
@@ -55,10 +55,14 @@ class LocationResult:
     n_trials: int
 
     def wilson_interval(self, confidence: float = 0.95) -> tuple[float, float]:
-        """Confidence interval on the success probability."""
+        """Confidence interval on the success probability.
+
+        Delegates to :mod:`repro.stats.intervals`; the sequential
+        estimators there generalize this one-off to accumulating,
+        mergeable cells (Wilson and Jeffreys alike).
+        """
         successes = round(self.success_probability * self.n_trials)
-        _, low, high = success_probability(successes, self.n_trials, confidence)
-        return low, high
+        return wilson_interval(successes, self.n_trials, confidence)
 
 
 @dataclass(frozen=True)
@@ -116,6 +120,7 @@ def plan_attack_chunks(
     seed: int,
     chunk_size: int | None,
     metric: str = "auto",
+    round_index: int | None = None,
 ) -> list[AttackChunkSpec]:
     """The deterministic work plan of one sweep.
 
@@ -126,6 +131,12 @@ def plan_attack_chunks(
     ``SeedSequence(seed, spawn_key=(location, chunk))``, which likewise
     depends only on the plan coordinates -- never on workers or
     scheduling.
+
+    ``round_index`` plans one *round* of an adaptive-precision run
+    instead: every chunk draws from the round spawn-key namespace
+    (:func:`repro.runtime.seeding.round_seed_sequence`), so successive
+    rounds at the same location extend the sample with fresh,
+    independent trials and can never alias a fixed plan's streams.
     """
     if command not in ("interrogate", "therapy"):
         raise ValueError(f"unknown command {command!r}")
@@ -137,8 +148,12 @@ def plan_attack_chunks(
     for location in location_indices:
         sizes = chunk_sizes(n_trials, chunk_size)
         for chunk_index, size in enumerate(sizes):
-            if len(sizes) == 1:
-                chunk_seed: int | np.random.SeedSequence = seed + location
+            if round_index is not None:
+                chunk_seed: int | np.random.SeedSequence = round_seed_sequence(
+                    seed, location, round_index, chunk_index
+                )
+            elif len(sizes) == 1:
+                chunk_seed = seed + location
             else:
                 chunk_seed = unit_seed_sequence(seed, (location, chunk_index))
             plan.append(

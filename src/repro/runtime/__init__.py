@@ -19,12 +19,18 @@ should plug in here rather than into individual experiments.
 """
 
 from repro.runtime.executor import SweepExecutor, resolve_workers
-from repro.runtime.seeding import chunk_sizes, spawn_rngs, spawn_seed_sequences
+from repro.runtime.seeding import (
+    chunk_sizes,
+    round_seed_sequence,
+    spawn_rngs,
+    spawn_seed_sequences,
+)
 
 __all__ = [
     "SweepExecutor",
     "resolve_workers",
     "chunk_sizes",
+    "round_seed_sequence",
     "spawn_rngs",
     "spawn_seed_sequences",
 ]

@@ -14,7 +14,8 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, TypeVar
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator, TypeVar
 
 __all__ = ["SweepExecutor", "resolve_workers"]
 
@@ -73,10 +74,33 @@ class SweepExecutor:
         if chunksize < 1:
             raise ValueError("chunksize must be at least 1")
         self.chunksize = chunksize
+        self._pool: ProcessPoolExecutor | None = None
 
     @property
     def parallel(self) -> bool:
         return self.workers > 1
+
+    @contextmanager
+    def pool_session(self):
+        """Keep one process pool alive across consecutive map/imap calls.
+
+        One-shot sweeps pay pool startup once and tear it down with the
+        call -- fine.  Round-based callers (the adaptive scheduler) map
+        many small batches back to back, and spawning fresh worker
+        processes (interpreter + numpy/scipy imports) every round can
+        rival the round's actual work; inside this context the pool is
+        created once and shut down on exit.  A no-op in serial mode, and
+        re-entrant (an inner session reuses the outer pool).
+        """
+        if not self.parallel or self._pool is not None:
+            yield self
+            return
+        self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        try:
+            yield self
+        finally:
+            pool, self._pool = self._pool, None
+            pool.shutdown(wait=True)
 
     def map(self, fn: Callable[[T], R], units: Iterable[T]) -> list[R]:
         """Evaluate ``fn`` on every unit, returning results in unit order.
@@ -86,11 +110,26 @@ class SweepExecutor:
         unit carries its own RNG stream, the output is identical in both
         modes.
         """
+        return list(self.imap(fn, units))
+
+    def imap(self, fn: Callable[[T], R], units: Iterable[T]) -> Iterator[R]:
+        """Streaming :meth:`map`: yield each result as soon as it exists.
+
+        Results still arrive in submission order, so consumers see the
+        same sequence either way -- but a caller that persists or reacts
+        per unit (cache flushes, adaptive round bookkeeping) no longer
+        waits for the whole batch.  An interrupt therefore loses at most
+        the units still in flight, in serial *and* parallel mode alike.
+        Closing the iterator early shuts the pool down cleanly.
+        """
         units = list(units)
-        if not units:
-            return []
-        if not self.parallel or len(units) == 1:
-            return [fn(u) for u in units]
+        if not self.parallel or len(units) <= 1:
+            for unit in units:
+                yield fn(unit)
+            return
+        if self._pool is not None:  # inside a pool_session
+            yield from self._pool.map(fn, units, chunksize=self.chunksize)
+            return
         max_workers = min(self.workers, len(units))
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(fn, units, chunksize=self.chunksize))
+            yield from pool.map(fn, units, chunksize=self.chunksize)

@@ -11,7 +11,21 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["chunk_sizes", "spawn_rngs", "spawn_seed_sequences", "unit_seed_sequence"]
+__all__ = [
+    "ROUND_SPAWN_NAMESPACE",
+    "chunk_sizes",
+    "round_seed_sequence",
+    "spawn_rngs",
+    "spawn_seed_sequences",
+    "unit_seed_sequence",
+]
+
+#: First spawn-key word of every *round* work unit (adaptive-precision
+#: execution).  Fixed-plan units use 2-element spawn keys, round units
+#: 4-element keys starting with this constant, so the two families can
+#: never alias each other's RNG streams -- an adaptive run at a cache
+#: warm with fixed-run results draws statistically fresh trials.
+ROUND_SPAWN_NAMESPACE = 0x0AD0
 
 
 def unit_seed_sequence(
@@ -25,6 +39,26 @@ def unit_seed_sequence(
     same stream regardless of worker count or execution order.
     """
     return np.random.SeedSequence(root_seed, spawn_key=spawn_key)
+
+
+def round_seed_sequence(
+    root_seed: int, cell: int, round_index: int, chunk_index: int = 0
+) -> np.random.SeedSequence:
+    """The seed sequence of one round unit of an adaptive run.
+
+    ``cell`` is an integer identifying the grid point (a location index,
+    or a position along a non-integer axis), ``round_index`` the
+    submission round.  The stream depends only on those coordinates --
+    never on which cells are still active, the round's trial count, or
+    worker scheduling -- so an adaptive run resumed from cache replays
+    exactly the trials the uninterrupted run would have drawn.
+    """
+    if round_index < 0:
+        raise ValueError(f"round_index cannot be negative, got {round_index}")
+    return np.random.SeedSequence(
+        root_seed,
+        spawn_key=(ROUND_SPAWN_NAMESPACE, cell, round_index, chunk_index),
+    )
 
 
 def spawn_seed_sequences(

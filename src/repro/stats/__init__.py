@@ -1,0 +1,85 @@
+"""Statistical fidelity subsystem: adaptive precision + golden figures.
+
+The paper's claims are statistical -- near-zero passive decode rates
+behind the shield, >99% attack-packet rejection, graceful degradation
+under raw transmit power -- so reproducing them faithfully means (a)
+quantifying the confidence of every reproduced number and (b) machine-
+checking that those numbers still match the paper within sampling
+error.  This package owns both halves:
+
+* :mod:`repro.stats.intervals` -- Wilson, Jeffreys, and Student-t
+  interval constructions from streaming sufficient statistics;
+* :mod:`repro.stats.estimator` -- mergeable sequential estimators
+  (:class:`SequentialEstimator` for proportions, :class:`MeanEstimator`
+  for means) that rebuild identically from cached per-unit results;
+* :mod:`repro.stats.adaptive` -- :class:`AdaptiveScheduler`, which
+  feeds trial chunks through the campaign machinery in rounds and stops
+  every (grid cell, metric) pair the moment its confidence interval
+  hits a stated precision target, with serial == parallel determinism
+  via per-round :class:`~numpy.random.SeedSequence` spawning;
+* :mod:`repro.stats.expectations` -- declarative golden-figure
+  :class:`Expectation` records (two-sided CI overlap, one-sided bounds,
+  exact matches) and their verdict semantics;
+* :mod:`repro.stats.validation` -- the harness ``python -m repro
+  validate`` drives: fixed or adaptive execution, expectation
+  evaluation, reporting, exit codes.
+
+The campaign registry (:mod:`repro.campaigns.registry`) holds the
+expectation table for every named scenario; see ``docs/validation.md``
+for the semantics and for how to add a golden figure to a new scenario.
+"""
+
+from repro.stats.adaptive import (
+    DEFAULT_PRECISION,
+    AdaptiveCell,
+    AdaptivePolicy,
+    AdaptiveRunResult,
+    AdaptiveScheduler,
+)
+from repro.stats.estimator import MeanEstimator, SequentialEstimator
+from repro.stats.expectations import (
+    CellOutcome,
+    CellStats,
+    Expectation,
+    ExpectationOutcome,
+    evaluate_expectation,
+    worst_verdict,
+)
+from repro.stats.intervals import (
+    jeffreys_interval,
+    mean_interval,
+    normal_quantile,
+    wilson_interval,
+)
+from repro.stats.validation import (
+    ScenarioValidation,
+    ValidationReport,
+    cells_from_result,
+    tracked_metrics,
+    validate_scenario,
+)
+
+__all__ = [
+    "DEFAULT_PRECISION",
+    "AdaptiveCell",
+    "AdaptivePolicy",
+    "AdaptiveRunResult",
+    "AdaptiveScheduler",
+    "CellOutcome",
+    "CellStats",
+    "Expectation",
+    "ExpectationOutcome",
+    "MeanEstimator",
+    "ScenarioValidation",
+    "SequentialEstimator",
+    "ValidationReport",
+    "cells_from_result",
+    "evaluate_expectation",
+    "jeffreys_interval",
+    "mean_interval",
+    "normal_quantile",
+    "tracked_metrics",
+    "validate_scenario",
+    "wilson_interval",
+    "worst_verdict",
+]

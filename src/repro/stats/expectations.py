@@ -1,0 +1,287 @@
+"""Golden-figure expectations: the paper's claims as machine-checkable records.
+
+An :class:`Expectation` states what a scenario's reproduced numbers must
+look like for the reproduction to count as faithful -- "eavesdropper BER
+is a coin flip at every location", "attack success behind the shield is
+bounded by 5%", "the bare IMD is compromised with probability at least
+0.9 up close".  The campaign registry holds a table of these for every
+registered scenario; ``python -m repro validate`` evaluates them against
+fixed or adaptive runs.
+
+Tolerance semantics (``kind``):
+
+``ci_overlap``
+    Two-sided: the measured cell's confidence interval must overlap the
+    paper interval ``[value - tolerance, value + tolerance]``, *and* be
+    no wider than that interval -- a CI broader than the paper's slack
+    cannot distinguish the claim from a refutation, so it judges
+    ``inconclusive`` rather than vacuously passing.  The check
+    *confirms* when the whole measured CI lands inside the paper
+    interval.
+``upper_bound`` / ``lower_bound``
+    One-sided: the claim is ``metric <= value`` (resp. ``>=``).  The
+    verdict is ``fail`` when the CI confidently refutes the bound
+    (entirely on the wrong side), ``pass`` when the point estimate
+    satisfies it, and ``inconclusive`` when the estimate violates the
+    bound but the CI still straddles it (more trials would settle it).
+    The check *confirms* when the whole CI satisfies the bound.
+``exact``
+    For deterministic metrics: the point estimate must equal ``value``
+    within ``tolerance``; never inconclusive.
+
+Verdicts order as ``fail > inconclusive > pass`` -- an expectation's (or
+report's) overall verdict is the worst of its parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.stats.estimator import MeanEstimator, SequentialEstimator
+
+__all__ = [
+    "CellOutcome",
+    "CellStats",
+    "Expectation",
+    "ExpectationOutcome",
+    "VERDICTS",
+    "evaluate_expectation",
+    "worst_verdict",
+]
+
+_KINDS = ("ci_overlap", "upper_bound", "lower_bound", "exact")
+
+#: Verdict values, worst first.
+VERDICTS = ("fail", "inconclusive", "pass")
+
+
+def worst_verdict(verdicts) -> str:
+    """The most severe verdict in an iterable (``pass`` if empty)."""
+    verdicts = list(verdicts)
+    for candidate in VERDICTS:
+        if candidate in verdicts:
+            return candidate
+    return "pass"
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """One machine-checkable claim about a scenario's metric."""
+
+    metric: str
+    kind: str
+    value: float
+    tolerance: float = 0.0
+    #: Grid axis values (location indices / separations) the claim
+    #: covers; ``None`` means every grid point of the scenario.
+    axes: tuple | None = None
+    note: str = ""
+    confidence: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown expectation kind {self.kind!r}; "
+                f"expected one of {_KINDS}"
+            )
+        if not self.metric:
+            raise ValueError("expectation needs a metric name")
+        if self.tolerance < 0:
+            raise ValueError(f"tolerance cannot be negative, got {self.tolerance}")
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError(
+                f"confidence must lie strictly between 0 and 1, "
+                f"got {self.confidence}"
+            )
+        if self.axes is not None:
+            object.__setattr__(self, "axes", tuple(self.axes))
+            if not self.axes:
+                raise ValueError("axes cannot be an empty tuple; use None for all")
+
+    def describe(self) -> str:
+        """One compact human line: what the claim says."""
+        if self.kind == "ci_overlap":
+            claim = f"{self.metric} ~ {self.value:g} +/- {self.tolerance:g}"
+        elif self.kind == "upper_bound":
+            claim = f"{self.metric} <= {self.value:g}"
+        elif self.kind == "lower_bound":
+            claim = f"{self.metric} >= {self.value:g}"
+        else:
+            claim = f"{self.metric} == {self.value:g}"
+            if self.tolerance:
+                claim += f" +/- {self.tolerance:g}"
+        if self.axes is None:
+            return f"{claim} (all points)"
+        points = ", ".join(f"{a:g}" if isinstance(a, float) else str(a) for a in self.axes)
+        return f"{claim} @ {points}"
+
+
+@dataclass
+class CellStats:
+    """One grid point's estimators, keyed by metric name.
+
+    The uniform view expectation evaluation consumes: fixed campaign
+    results and adaptive runs both reduce to a list of these.
+    """
+
+    axis: object
+    label: str
+    estimators: dict[str, SequentialEstimator | MeanEstimator] = field(
+        default_factory=dict
+    )
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """The verdict of one expectation at one grid point."""
+
+    axis: object
+    label: str
+    estimate: float
+    low: float
+    high: float
+    n: int
+    verdict: str
+    confirmed: bool
+
+
+@dataclass(frozen=True)
+class ExpectationOutcome:
+    """One expectation evaluated across its cells."""
+
+    expectation: Expectation
+    verdict: str
+    confirmed: bool
+    cells: tuple[CellOutcome, ...]
+    #: Axes the expectation names that the evaluated grid did not hold
+    #: (narrowed runs, smoke budgets); skipped, never failed.
+    skipped_axes: tuple = ()
+
+
+def _interval(
+    estimator: SequentialEstimator | MeanEstimator,
+    confidence: float,
+    method: str,
+) -> tuple[float, float]:
+    if isinstance(estimator, SequentialEstimator):
+        return estimator.interval(confidence, method)
+    return estimator.interval(confidence)
+
+
+def _sample_count(estimator: SequentialEstimator | MeanEstimator) -> int:
+    return (
+        estimator.trials
+        if isinstance(estimator, SequentialEstimator)
+        else estimator.count
+    )
+
+
+def _judge(
+    expectation: Expectation, estimate: float, low: float, high: float
+) -> tuple[str, bool]:
+    """(verdict, confirmed) of one cell against one expectation."""
+    value, tol = expectation.value, expectation.tolerance
+    if expectation.kind == "exact":
+        ok = abs(estimate - value) <= tol
+        return ("pass" if ok else "fail"), ok
+    if expectation.kind == "upper_bound":
+        if low > value:
+            return "fail", False
+        if estimate <= value:
+            return "pass", high <= value
+        return "inconclusive", False
+    if expectation.kind == "lower_bound":
+        if high < value:
+            return "fail", False
+        if estimate >= value:
+            return "pass", low >= value
+        return "inconclusive", False
+    # ci_overlap
+    paper_low, paper_high = value - tol, value + tol
+    if high < paper_low or low > paper_high:
+        return "fail", False
+    # Overlap alone is vacuous when the measured CI is wider than the
+    # paper's slack -- the data cannot localize the metric within the
+    # claim's tolerance, so an underpowered run must not pass silently.
+    if (high - low) / 2.0 > tol:
+        return "inconclusive", False
+    return "pass", paper_low <= low <= high <= paper_high
+
+
+def evaluate_expectation(
+    expectation: Expectation,
+    cells: list[CellStats],
+    method: str = "jeffreys",
+    confidence: float | None = None,
+) -> ExpectationOutcome:
+    """Evaluate one expectation against the cells of a run.
+
+    ``method`` picks the proportion-interval construction; mean metrics
+    always use the Student-t interval.  ``confidence`` overrides the
+    expectation's own level (the ``validate --confidence`` flag).  A
+    cell that has not measured the expectation's metric (or has too few
+    samples for an interval) is ``inconclusive`` -- an absence of
+    evidence never silently passes.
+    """
+    level = expectation.confidence if confidence is None else confidence
+    if not 0.0 < level < 1.0:
+        raise ValueError(
+            f"confidence must lie strictly between 0 and 1, got {level}"
+        )
+    wanted = (
+        cells
+        if expectation.axes is None
+        else [c for c in cells if c.axis in expectation.axes]
+    )
+    skipped: tuple = ()
+    if expectation.axes is not None:
+        present = {c.axis for c in cells}
+        skipped = tuple(a for a in expectation.axes if a not in present)
+
+    outcomes: list[CellOutcome] = []
+    for cell in wanted:
+        estimator = cell.estimators.get(expectation.metric)
+        if estimator is None or _sample_count(estimator) == 0:
+            outcomes.append(
+                CellOutcome(
+                    cell.axis, cell.label, float("nan"), float("nan"),
+                    float("nan"), 0, "inconclusive", False,
+                )
+            )
+            continue
+        estimate = estimator.estimate
+        if expectation.kind == "exact":
+            low = high = estimate
+        else:
+            try:
+                low, high = _interval(estimator, level, method)
+            except ValueError:  # e.g. a single-sample mean
+                outcomes.append(
+                    CellOutcome(
+                        cell.axis, cell.label, estimate, float("nan"),
+                        float("nan"), _sample_count(estimator),
+                        "inconclusive", False,
+                    )
+                )
+                continue
+        verdict, confirmed = _judge(expectation, estimate, low, high)
+        outcomes.append(
+            CellOutcome(
+                cell.axis, cell.label, estimate, low, high,
+                _sample_count(estimator), verdict, confirmed,
+            )
+        )
+
+    if not outcomes:
+        # Every named axis fell outside the evaluated grid: nothing to
+        # judge, nothing violated.
+        return ExpectationOutcome(
+            expectation, "pass", False, (), skipped_axes=skipped
+        )
+    return ExpectationOutcome(
+        expectation,
+        worst_verdict(o.verdict for o in outcomes),
+        all(o.confirmed for o in outcomes),
+        tuple(outcomes),
+        skipped_axes=skipped,
+    )

@@ -131,7 +131,7 @@ class TestInterruptResume:
         scenario = _small_attack(chunk_size=2)  # 3 locations x 2 chunks
         fresh = CampaignRunner(scenario, persist=False).run()
 
-        real_evaluate = runner_module._evaluate_unit
+        real_evaluate = runner_module.evaluate_unit
         calls = {"n": 0}
 
         def dying_evaluate(spec):
@@ -140,10 +140,10 @@ class TestInterruptResume:
             calls["n"] += 1
             return real_evaluate(spec)
 
-        monkeypatch.setattr(runner_module, "_evaluate_unit", dying_evaluate)
+        monkeypatch.setattr(runner_module, "evaluate_unit", dying_evaluate)
         with pytest.raises(KeyboardInterrupt):
             CampaignRunner(scenario, cache_dir=tmp_path).run()
-        monkeypatch.setattr(runner_module, "_evaluate_unit", real_evaluate)
+        monkeypatch.setattr(runner_module, "evaluate_unit", real_evaluate)
 
         status = CampaignRunner(scenario, cache_dir=tmp_path).status()
         assert status.cached_units == 3  # everything computed before the kill

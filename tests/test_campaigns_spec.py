@@ -165,6 +165,57 @@ class TestRegistry:
         with pytest.raises(ValueError, match="already registered"):
             registry.register(scenario)
 
+    def test_builtins_all_carry_expectations(self):
+        for name in self.EXPECTED:
+            assert registry.expectations_for(name), name
+
+    def test_expectation_registration_validates_axes_and_metrics(self):
+        from repro.stats import Expectation
+
+        with pytest.raises(ValueError, match="does not sweep"):
+            registry.register_expectations(
+                "attack-success-shielded",
+                Expectation(
+                    metric="success_probability", kind="upper_bound",
+                    value=0.05, axes=(99,),
+                ),
+                allow_replace=True,
+            )
+        with pytest.raises(ValueError, match="not measured"):
+            registry.register_expectations(
+                "attack-success-shielded",
+                Expectation(metric="ber", kind="upper_bound", value=0.05),
+                allow_replace=True,
+            )
+
+    def test_replacing_a_scenario_drops_its_expectations(self):
+        """Expectations are validated against the grid they were
+        registered for; a replaced scenario must not silently carry a
+        stale table whose axes may no longer exist."""
+        from repro.stats import Expectation
+
+        name = "test-replace-drops"
+        try:
+            registry.register(Scenario(
+                name=name, kind="attack", location_indices=tuple(range(1, 15)),
+            ))
+            registry.register_expectations(
+                name,
+                Expectation(
+                    metric="success_probability", kind="upper_bound",
+                    value=0.5, axes=(10, 14),
+                ),
+            )
+            assert registry.expectations_for(name)
+            registry.register(
+                Scenario(name=name, kind="attack", location_indices=(1, 2)),
+                allow_replace=True,
+            )
+            assert registry.expectations_for(name) == ()
+        finally:
+            registry._REGISTRY.pop(name, None)
+            registry._EXPECTATIONS.pop(name, None)
+
     def test_shielded_unshielded_share_the_axis(self):
         """The headline compare: same grid, one flag apart."""
         on = registry.get("attack-success-shielded")

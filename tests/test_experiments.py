@@ -21,8 +21,20 @@ class TestMetrics:
         assert np.allclose(cdf, [1 / 3, 2 / 3, 1.0])
 
     def test_empirical_cdf_empty(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="need at least 2"):
             empirical_cdf([])
+
+    def test_empirical_cdf_single_element(self):
+        """A one-point CDF is degenerate; refuse it loudly (regression:
+        used to return a single step silently)."""
+        with pytest.raises(ValueError, match="1 sample"):
+            empirical_cdf([2.5])
+
+    def test_empirical_cdf_rejects_non_finite(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            empirical_cdf([1.0, float("nan"), 3.0])
+        with pytest.raises(ValueError, match="non-finite"):
+            empirical_cdf([1.0, float("inf")])
 
     def test_summarize(self):
         stats = summarize([1.0, 2.0, 3.0])
@@ -31,8 +43,19 @@ class TestMetrics:
         assert stats.maximum == 3.0
         assert stats.count == 3
 
-    def test_summarize_single(self):
-        assert summarize([5.0]).std == 0.0
+    def test_summarize_empty(self):
+        with pytest.raises(ValueError, match="need at least 2"):
+            summarize([])
+
+    def test_summarize_single_element(self):
+        """The ddof=1 sample std is undefined for one sample (regression:
+        used to report std=0.0, which reads as 'perfectly precise')."""
+        with pytest.raises(ValueError, match="1 sample"):
+            summarize([5.0])
+
+    def test_summarize_rejects_non_finite(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            summarize([1.0, float("-inf")])
 
     def test_success_probability_wilson(self):
         p, low, high = success_probability(59, 100)
@@ -52,7 +75,13 @@ class TestMetrics:
         with pytest.raises(ValueError):
             success_probability(11, 10)
         with pytest.raises(ValueError):
-            success_probability(1, 10, confidence=0.5)
+            success_probability(1, 10, confidence=1.5)
+
+    def test_success_probability_arbitrary_confidence(self):
+        """Non-tabled confidence levels now resolve through scipy."""
+        _, low80, high80 = success_probability(5, 10, confidence=0.80)
+        _, low95, high95 = success_probability(5, 10, confidence=0.95)
+        assert low95 < low80 < high80 < high95
 
 
 class TestReport:

@@ -84,6 +84,30 @@ class TestSweepExecutor:
         with pytest.raises(ValueError):
             SweepExecutor(1, chunksize=0)
 
+    def test_imap_streams_in_submission_order(self):
+        executor = SweepExecutor(1)
+        streamed = executor.imap(_square, range(5))
+        assert next(streamed) == 0
+        assert list(streamed) == [1, 4, 9, 16]
+
+    def test_pool_session_reuses_one_pool_across_calls(self):
+        executor = SweepExecutor(2)
+        units = list(range(9))
+        with executor.pool_session():
+            first_pool = executor._pool
+            assert first_pool is not None
+            a = list(executor.imap(_square, units))
+            assert executor._pool is first_pool  # reused, not respawned
+            b = executor.map(_square, units)
+        assert executor._pool is None  # torn down on exit
+        assert a == b == [x * x for x in units]
+
+    def test_pool_session_noop_in_serial_mode(self):
+        executor = SweepExecutor(1)
+        with executor.pool_session():
+            assert executor._pool is None
+            assert executor.map(_square, [3]) == [9]
+
 
 class TestChunkSizes:
     def test_none_keeps_one_block(self):

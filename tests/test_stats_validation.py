@@ -1,0 +1,213 @@
+"""Tests for the golden-figure validation harness and the validate CLI verb."""
+
+import json
+
+import pytest
+
+from repro.campaigns import CampaignRunner, registry
+from repro.campaigns.cli import main
+from repro.stats import (
+    Expectation,
+    ValidationReport,
+    cells_from_result,
+    validate_scenario,
+)
+
+
+def _run(capsys, *argv, expect: int = 0) -> str:
+    assert main(list(argv)) == expect
+    return capsys.readouterr().out
+
+
+class TestCellsFromResult:
+    def test_attack_counts_round_trip(self):
+        scenario = registry.get("attack-success-shielded").override(
+            location_indices=(1, 8), n_trials=4
+        )
+        result = CampaignRunner(scenario, persist=False).run()
+        cells = cells_from_result(result)
+        assert [c.axis for c in cells] == [1, 8]
+        for cell, point in zip(cells, result.points):
+            est = cell.estimators["success_probability"]
+            assert est.successes == point["wins"]
+            assert est.trials == point["n_trials"]
+            assert cell.estimators["alarm_probability"].successes == point["alarms"]
+
+    def test_passive_moments_round_trip(self):
+        scenario = registry.get("passive-ber-by-location").override(
+            location_indices=(1,), n_trials=5
+        )
+        result = CampaignRunner(scenario, persist=False).run()
+        (cell,) = cells_from_result(result)
+        est = cell.estimators["ber"]
+        assert est.count == 5
+        assert est.estimate == pytest.approx(result.points[0]["ber"], rel=1e-12)
+        # Moments give a real interval, not a degenerate point.
+        low, high = est.interval()
+        assert low < est.estimate < high
+
+
+class TestValidateScenario:
+    def test_requires_expectations(self):
+        scenario = registry.get("attack-success-shielded")
+        with pytest.raises(ValueError, match="no registered expectations"):
+            validate_scenario(scenario, (), persist=False)
+
+    def test_registry_paper_scenarios_pass_fixed(self):
+        for name in ("passive-ber-by-location", "attack-success-shielded"):
+            scenario = registry.get(name)
+            validation = validate_scenario(
+                scenario, registry.expectations_for(name), persist=False
+            )
+            assert validation.verdict == "pass", name
+            assert validation.trials_used == validation.fixed_trials
+
+    def test_acceptance_adaptive_same_verdicts_half_the_trials(self):
+        """The ISSUE's acceptance criterion, as a regression test: the
+        adaptive run reaches the fixed run's verdicts on the two headline
+        scenarios with at most half the trials."""
+        for name in ("passive-ber-by-location", "attack-success-shielded"):
+            scenario = registry.get(name)
+            expectations = registry.expectations_for(name)
+            fixed = validate_scenario(scenario, expectations, persist=False)
+            adaptive = validate_scenario(
+                scenario, expectations, adaptive=True, persist=False
+            )
+            assert adaptive.converged
+            assert [o.verdict for o in adaptive.outcomes] == [
+                o.verdict for o in fixed.outcomes
+            ]
+            assert adaptive.trials_used <= fixed.trials_used // 2, name
+
+    def test_confidence_override_reaches_verdict_intervals(self):
+        """--confidence must change the reported intervals, not just
+        adaptive stopping (regression: it used to be a no-op in fixed
+        mode)."""
+        scenario = registry.get("attack-success-shielded").override(
+            location_indices=(1,), n_trials=6
+        )
+        expectations = registry.expectations_for("attack-success-shielded")
+        narrow = validate_scenario(
+            scenario, expectations, persist=False, confidence=0.80
+        )
+        wide = validate_scenario(
+            scenario, expectations, persist=False, confidence=0.999
+        )
+        cell_n = narrow.outcomes[0].cells[0]
+        cell_w = wide.outcomes[0].cells[0]
+        assert cell_w.high > cell_n.high
+
+    def test_fabricated_claim_fails(self):
+        scenario = registry.get("attack-success-unshielded").override(
+            location_indices=(1,), n_trials=6
+        )
+        bad = Expectation(
+            metric="success_probability", kind="upper_bound", value=0.05,
+            note="the bare IMD is safe up close (it is not)",
+        )
+        validation = validate_scenario(scenario, (bad,), persist=False)
+        assert validation.verdict == "fail"
+
+    def test_warm_cache_validation_is_pure_statistics(self, tmp_path):
+        scenario = registry.get("attack-success-shielded").override(
+            location_indices=(1, 8), n_trials=4
+        )
+        expectations = registry.expectations_for("attack-success-shielded")
+        first = validate_scenario(scenario, expectations, cache_dir=tmp_path)
+        assert first.computed_units > 0
+        second = validate_scenario(scenario, expectations, cache_dir=tmp_path)
+        assert second.computed_units == 0
+        assert second.cached_units == first.computed_units
+        assert [o.verdict for o in second.outcomes] == [
+            o.verdict for o in first.outcomes
+        ]
+
+
+class TestValidationReport:
+    def test_strictness_gates_inconclusive(self):
+        scenario = registry.get("attack-success-unshielded").override(
+            location_indices=(8,), n_trials=4
+        )
+        # Location 8 sits mid-transition (~0.7 success): a tight upper
+        # bound at tiny n is inconclusive, not failed.
+        wobbly = Expectation(
+            metric="success_probability", kind="upper_bound", value=0.6
+        )
+        validation = validate_scenario(scenario, (wobbly,), persist=False)
+        assert validation.verdict == "inconclusive"
+        assert ValidationReport([validation], strict=False).passed
+        assert not ValidationReport([validation], strict=True).passed
+
+    def test_payload_is_strict_json_even_with_unjudgeable_cells(self):
+        """A single-sample mean cell has no CI; its payload must carry
+        null, never a bare NaN token that breaks strict JSON parsers."""
+        scenario = registry.get("passive-ber-by-location").override(
+            location_indices=(1,), n_trials=1
+        )
+        expectations = registry.expectations_for("passive-ber-by-location")
+        validation = validate_scenario(scenario, expectations, persist=False)
+        assert validation.verdict == "inconclusive"
+        payload = ValidationReport([validation]).to_payload()
+        text = json.dumps(payload, allow_nan=False)  # raises on NaN/inf
+        cell = payload["scenarios"][0]["expectations"][0]["cells"][0]
+        assert cell["low"] is None and cell["high"] is None
+        assert "NaN" not in text
+
+    def test_payload_shape(self):
+        scenario = registry.get("mimo-eavesdropper")
+        validation = validate_scenario(
+            scenario, registry.expectations_for("mimo-eavesdropper"), persist=False
+        )
+        payload = ValidationReport([validation]).to_payload()
+        assert payload["verdict"] == "pass"
+        (entry,) = payload["scenarios"]
+        assert entry["scenario"] == "mimo-eavesdropper"
+        assert {"metric", "kind", "verdict", "cells"} <= set(
+            entry["expectations"][0]
+        )
+
+
+class TestValidateCli:
+    def test_validate_named_scenarios_exit_zero(self, capsys, tmp_path):
+        out = _run(
+            capsys,
+            "validate", "attack-success-shielded",
+            "--budget", "smoke", "--cache-dir", str(tmp_path),
+        )
+        assert "attack-success-shielded" in out
+        assert "PASS" in out
+
+    def test_validate_json_payload(self, capsys, tmp_path):
+        out = _run(
+            capsys,
+            "validate", "attack-success-shielded", "--budget", "smoke",
+            "--cache-dir", str(tmp_path), "--format", "json",
+        )
+        payload = json.loads(out)
+        assert payload["passed"] is True
+        assert payload["scenarios"][0]["verdict"] == "pass"
+
+    def test_validate_adaptive_reports_savings(self, capsys, tmp_path):
+        out = _run(
+            capsys,
+            "validate", "attack-success-shielded", "--adaptive",
+            "--budget", "smoke", "--cache-dir", str(tmp_path),
+        )
+        assert "fixed budget would be" in out
+
+    def test_validate_unknown_scenario_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["validate", "no-such-scenario"])
+
+    def test_validate_rejects_bad_policy(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["validate", "attack-success-shielded", "--round-size", "1"])
+
+    def test_validate_smoke_all_scenarios(self, capsys, tmp_path):
+        """The CI smoke gate: every registered expectation table holds
+        at the smoke budget."""
+        out = _run(
+            capsys, "validate", "--budget", "smoke", "--cache-dir", str(tmp_path)
+        )
+        assert "validate: PASS" in out
+        assert "9 scenario(s)" in out
