@@ -29,17 +29,22 @@ from pathlib import Path
 BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
 DEFAULT_BASELINE = BENCH_DIR / "BENCH_baseline.json"
-PRIMITIVES = BENCH_DIR / "test_perf_primitives.py"
+#: The gated suites: DSP primitives plus the physiological telemetry
+#: hot paths (ECG synthesis, codec, batch eavesdropping, inference).
+GATED_SUITES = (
+    BENCH_DIR / "test_perf_primitives.py",
+    BENCH_DIR / "test_perf_physio.py",
+)
 
 
 def run_benchmarks(label: str) -> Path:
-    """Run the perf primitives, exporting pytest-benchmark JSON."""
+    """Run the gated perf suites, exporting pytest-benchmark JSON."""
     out_path = BENCH_DIR / f"BENCH_{label}.json"
     command = [
         sys.executable,
         "-m",
         "pytest",
-        str(PRIMITIVES),
+        *[str(path) for path in GATED_SUITES],
         "-q",
         "--benchmark-only",
         f"--benchmark-json={out_path}",

@@ -1,0 +1,72 @@
+"""They can hear your heartbeats -- literally.
+
+The paper's title is a claim about *medical content*, not bit error
+rates.  This example gives the eavesdropper actual cardiac telemetry to
+steal: synthetic IEGM records (mixed rhythm classes) are encoded into
+wire-format packets, jammed (or not) by the shield, and run through the
+attacker's bits-to-vitals pipeline.
+
+Without the shield, the attacker reads heart rate to a fraction of a
+BPM and names the arrhythmia; with the shield jamming at +20 dB, every
+estimate collapses to the coin-flip chance baseline.
+
+Run:  PYTHONPATH=src python examples/physio_leakage.py
+
+The full grids are campaign scenarios::
+
+    python -m repro run physio-leakage-by-location
+    python -m repro validate physio-leakage-shielded
+"""
+
+import numpy as np
+
+from repro.experiments.physio_lab import PhysioLab
+from repro.experiments.report import ExperimentReport
+
+
+def main() -> None:
+    report = ExperimentReport(
+        "Physiological leakage: attacker inference vs. ground truth",
+        headers=("condition", "HR error / vs chance", "rhythm acc", "beat F1"),
+    )
+    for label, location, shielded in (
+        ("no shield, 0.3 m", 1, False),
+        ("no shield, 10 m NLOS", 12, False),
+        ("shield on, 0.3 m", 1, True),
+    ):
+        lab = PhysioLab(seed=2026)
+        batch = lab.run_records(
+            8,
+            jam_margin_db=20.0,
+            location_index=location,
+            shield_present=shielded,
+            rhythm="mixed",
+        )
+        report.add(
+            label,
+            f"{batch.hr_abs_error.mean():5.1f} bpm / "
+            f"{batch.hr_error_vs_chance.mean():+5.1f}",
+            f"{batch.rhythm_correct}/{batch.n_records}",
+            f"{batch.beat_f1.mean():.2f}",
+        )
+    print(report.render())
+    print(
+        "\nBER ~0.5 behind the shield drives inference to chance; "
+        "clean bits leak the diagnosis."
+    )
+
+    # One concrete stolen record, end to end.
+    lab = PhysioLab(seed=7)
+    batch = lab.run_records(1, location_index=1, shield_present=False,
+                            rhythm="afib")
+    print(
+        f"\nstolen record: rhythm={batch.rhythms_attacker[0]} "
+        f"(true {batch.rhythms_true[0]}), "
+        f"HR {batch.heart_rate_attacker[0]:.1f} bpm "
+        f"(true {batch.heart_rate_true[0]:.1f}), "
+        f"waveform NRMSE {float(np.mean(batch.waveform_nrmse)):.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

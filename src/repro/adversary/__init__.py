@@ -13,7 +13,11 @@ antenna (S3.2 allows both).
 """
 
 from repro.adversary.active import CommandInjector, ReplayAttacker
-from repro.adversary.eavesdropper import Eavesdropper, EavesdropResult
+from repro.adversary.eavesdropper import (
+    BatchEavesdropResult,
+    Eavesdropper,
+    EavesdropResult,
+)
 from repro.adversary.highpower import HighPowerAttacker
 from repro.adversary.mimo import MIMOEavesdropper, jakes_correlation
 from repro.adversary.strategies import (
@@ -26,6 +30,7 @@ from repro.adversary.strategies import (
 __all__ = [
     "CommandInjector",
     "DecodingStrategy",
+    "BatchEavesdropResult",
     "EavesdropResult",
     "Eavesdropper",
     "FilterBankStrategy",

@@ -17,7 +17,7 @@ from repro.adversary.strategies import DecodingStrategy, TreatJammingAsNoise
 from repro.phy.fsk import FSKConfig, NoncoherentFSKDemodulator
 from repro.phy.signal import Waveform
 
-__all__ = ["EavesdropResult", "Eavesdropper"]
+__all__ = ["BatchEavesdropResult", "EavesdropResult", "Eavesdropper"]
 
 
 @dataclass(frozen=True)
@@ -27,6 +27,38 @@ class EavesdropResult:
     bits: np.ndarray
     bit_error_rate: float
     strategy: str
+
+
+@dataclass(frozen=True)
+class BatchEavesdropResult:
+    """What the eavesdropper got out of one block of packets.
+
+    ``bits`` is the decoded ``(n_packets, n_bits)`` hard-decision
+    matrix; ``bit_error_rates`` scores each row against the ground
+    truth.  Downstream consumers (the physiological-inference pipeline,
+    :class:`~repro.experiments.physio_lab.PhysioLab`) read the decoded
+    matrix directly instead of looping packet by packet.
+    """
+
+    bits: np.ndarray
+    bit_error_rates: np.ndarray
+    strategy: str
+
+    @property
+    def n_packets(self) -> int:
+        return self.bits.shape[0]
+
+    def mean_bit_error_rate(self) -> float:
+        return float(np.mean(self.bit_error_rates))
+
+    def results(self) -> list[EavesdropResult]:
+        """The batch unpacked into per-packet :class:`EavesdropResult` rows."""
+        return [
+            EavesdropResult(
+                self.bits[i], float(self.bit_error_rates[i]), self.strategy
+            )
+            for i in range(self.n_packets)
+        ]
 
 
 class Eavesdropper:
@@ -58,3 +90,56 @@ class Eavesdropper:
         decoded = self.decode(waveform, n_bits=len(true_bits))
         ber = float(np.mean(decoded != true_bits))
         return EavesdropResult(decoded, ber, self.strategy.name)
+
+    def decode_batch(
+        self, waveforms: np.ndarray, n_bits: int | None = None
+    ) -> np.ndarray:
+        """Hard-decision bits for a ``(n_packets, n_samples)`` block.
+
+        The baseline treat-as-noise strategy has a no-op preprocess, so
+        the whole block goes straight to the batched envelope detector;
+        any other strategy -- including subclasses overriding
+        ``preprocess`` -- keeps its per-waveform contract and runs row
+        by row before the one batched demodulation.  Bit for bit
+        identical to :meth:`decode` applied per row.
+        """
+        waveforms = np.asarray(waveforms)
+        if waveforms.ndim != 2:
+            raise ValueError(
+                f"waveforms must be (n_packets, n_samples), got shape "
+                f"{waveforms.shape}"
+            )
+        if type(self.strategy) is not TreatJammingAsNoise:
+            waveforms = np.stack([
+                self.strategy.preprocess(
+                    Waveform(row, self.config.sample_rate), self.config
+                ).samples
+                for row in waveforms
+            ])
+        return self._demodulator.demodulate_batch(waveforms, n_bits=n_bits)
+
+    def attack_batch(
+        self, waveforms: np.ndarray, true_bits: np.ndarray
+    ) -> BatchEavesdropResult:
+        """Decode a whole block and score every packet at once.
+
+        ``true_bits`` is the transmitted ``(n_packets, n_bits)`` matrix;
+        the result carries the per-packet BER vector *and* the decoded
+        bit matrix, so content-inference consumers need no per-packet
+        loop.  Parity with the scalar path is pinned by the test suite.
+        """
+        true_bits = np.asarray(true_bits, dtype=np.int64)
+        if true_bits.ndim != 2:
+            raise ValueError(
+                f"true_bits must be (n_packets, n_bits), got shape "
+                f"{true_bits.shape}"
+            )
+        waveforms = np.asarray(waveforms)
+        if waveforms.shape[0] != true_bits.shape[0]:
+            raise ValueError(
+                f"{waveforms.shape[0]} waveforms for {true_bits.shape[0]} "
+                f"packets of ground truth"
+            )
+        decoded = self.decode_batch(waveforms, n_bits=true_bits.shape[1])
+        bers = np.mean(decoded != true_bits, axis=1)
+        return BatchEavesdropResult(decoded, bers, self.strategy.name)

@@ -126,6 +126,25 @@ def _result_report(result: CampaignResult) -> ExperimentReport:
             report.add(
                 point["label"], f"{point['ber']:.3f}", str(point["n_packets"]), note
             )
+    elif scenario.kind == "physio":
+        report = ExperimentReport(
+            title,
+            headers=("location", "HR error / vs chance", "rhythm acc", "note"),
+        )
+        for point in result.points:
+            if point["hr_abs_error"] < 2.0:
+                note = "heart rate leaks"
+            elif abs(point["hr_error_vs_chance"]) < 10.0:
+                note = "~chance"
+            else:
+                note = ""
+            report.add(
+                point["label"],
+                f"{point['hr_abs_error']:.1f} bpm / "
+                f"{point['hr_error_vs_chance']:+.1f}",
+                f"{point['rhythm_accuracy']:.2f}",
+                note,
+            )
     else:
         report = ExperimentReport(
             title, headers=("separation", "BER", "jam rejection", "attempts")

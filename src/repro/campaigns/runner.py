@@ -37,6 +37,7 @@ from repro.experiments.sweeps import (
 )
 from repro.runtime import SweepExecutor, chunk_sizes
 from repro.runtime.seeding import round_seed_sequence, unit_seed_sequence
+from repro.stats.adaptive import PHYSIO_MOMENT_KEYS
 
 __all__ = [
     "CampaignRunner",
@@ -76,6 +77,19 @@ class _MimoChunkSpec:
     sir_db: float
     snr_db: float
     seed: np.random.SeedSequence
+
+
+@dataclass(frozen=True)
+class _PhysioChunkSpec:
+    """One block of cardiac telemetry records at one location."""
+
+    location_index: int
+    n_records: int
+    jam_margin_db: float
+    shield_present: bool
+    rhythm: str
+    packets_per_record: int
+    seed: int | np.random.SeedSequence
 
 
 def _run_passive_chunk(spec: _PassiveChunkSpec) -> dict:
@@ -137,6 +151,27 @@ def _run_mimo_chunk(spec: _MimoChunkSpec) -> dict:
     }
 
 
+def _run_physio_chunk(spec: _PhysioChunkSpec) -> dict:
+    """Evaluate one physio unit: leakage moments over its record block.
+
+    The :class:`~repro.experiments.physio_lab.PhysioBatchResult` reduces
+    itself to mergeable sums/sums-of-squares per leakage metric, so
+    cached chunks rebuild exact means and confidence intervals in any
+    order -- the same contract the passive BER units honour.
+    """
+    from repro.experiments.physio_lab import PhysioLab
+
+    lab = PhysioLab(seed=spec.seed, packets_per_record=spec.packets_per_record)
+    batch = lab.run_records(
+        spec.n_records,
+        jam_margin_db=spec.jam_margin_db,
+        location_index=spec.location_index,
+        shield_present=spec.shield_present,
+        rhythm=spec.rhythm,
+    )
+    return batch.moments()
+
+
 def evaluate_unit(spec) -> dict:
     """Module-level dispatcher so every unit kind survives pickling."""
     if isinstance(spec, AttackChunkSpec):
@@ -146,6 +181,8 @@ def evaluate_unit(spec) -> dict:
         return _run_passive_chunk(spec)
     if isinstance(spec, _MimoChunkSpec):
         return _run_mimo_chunk(spec)
+    if isinstance(spec, _PhysioChunkSpec):
+        return _run_physio_chunk(spec)
     raise TypeError(f"unknown work-unit spec {type(spec).__name__}")
 
 
@@ -194,7 +231,11 @@ class CampaignResult:
     @property
     def value_key(self) -> str:
         """The headline per-point quantity (for reports and compares)."""
-        return "success_probability" if self.scenario.kind == "attack" else "ber"
+        if self.scenario.kind == "attack":
+            return "success_probability"
+        if self.scenario.kind == "physio":
+            return "hr_abs_error"
+        return "ber"
 
     def point(self, axis) -> dict:
         for point in self.points:
@@ -328,6 +369,36 @@ def plan_scenario_units(
                     location_index=location,
                     n_packets=size,
                     jam_margin_db=scenario.jam_margin_db,
+                    seed=seed,
+                )
+                units.append(CampaignUnit(unit_hash(coords), coords, spec))
+        elif scenario.kind == "physio":
+            location = scenario.location_indices[position]
+            sizes = chunk_sizes(trials, scenario.chunk_size)
+            for chunk_index, size in enumerate(sizes):
+                if round_index is not None:
+                    seed: np.random.SeedSequence = round_seed_sequence(
+                        scenario.seed, location, round_index, chunk_index
+                    )
+                else:
+                    seed = unit_seed_sequence(
+                        scenario.seed, (location, chunk_index)
+                    )
+                coords = {
+                    "kind": "physio",
+                    "location": location,
+                    "chunk": chunk_index,
+                    "n_trials": size,
+                }
+                if round_index is not None:
+                    coords["round"] = round_index
+                spec = _PhysioChunkSpec(
+                    location_index=location,
+                    n_records=size,
+                    jam_margin_db=scenario.jam_margin_db,
+                    shield_present=scenario.shield_present,
+                    rhythm=scenario.rhythm,
+                    packets_per_record=scenario.packets_per_record,
                     seed=seed,
                 )
                 units.append(CampaignUnit(unit_hash(coords), coords, spec))
@@ -558,6 +629,35 @@ class CampaignRunner:
                 }
                 for location in scenario.location_indices
             ]
+        if scenario.kind == "physio":
+            sums: dict[int, dict[str, float]] = {}
+            for unit, result in zip(units, results):
+                location = unit.coords["location"]
+                bucket = sums.setdefault(location, {})
+                for key, value in result.items():
+                    bucket[key] = bucket.get(key, 0.0) + value
+            points = []
+            for location in scenario.location_indices:
+                bucket = sums[location]
+                n = int(bucket["n_records"])
+                point = {
+                    "axis": location,
+                    "label": self._location_label(location),
+                    "rhythm_accuracy": bucket["rhythm_correct"] / n,
+                    "ber": bucket["ber_sum"] / n,
+                    "ber_clear": bucket["ber_clear_sum"] / n,
+                    "n_records": n,
+                }
+                for metric, (total, _) in PHYSIO_MOMENT_KEYS.items():
+                    point[metric] = bucket[total] / n
+                # Raw moments ride along so downstream statistics never
+                # reconstruct them from the means.
+                point.update(
+                    {key: bucket[key] for key in bucket if key != "n_records"}
+                )
+                point["rhythm_correct"] = int(bucket["rhythm_correct"])
+                points.append(point)
+            return points
         # mimo
         ber_sums: dict[int, float] = {}
         ber_sqsums: dict[int, float] = {}

@@ -38,10 +38,11 @@ __all__ = ["Scenario", "SCHEMA_VERSION"]
 #: shape of stored unit results -- and part of the content hash, so old
 #: cache entries can never be misread as new ones.  v2: passive/MIMO
 #: unit results carry second moments (``ber_sqsum``) for confidence
-#: intervals and adaptive stopping.
-SCHEMA_VERSION = 2
+#: intervals and adaptive stopping.  v3: the ``physio`` scenario kind
+#: (cardiac telemetry content + privacy-leakage moments).
+SCHEMA_VERSION = 3
 
-_KINDS = ("attack", "passive_ber", "mimo")
+_KINDS = ("attack", "passive_ber", "mimo", "physio")
 _ATTACKERS = ("fcc", "highpower")
 _COMMANDS = ("interrogate", "therapy")
 
@@ -76,6 +77,16 @@ _PAYLOAD_FIELDS: dict[str, tuple[str, ...]] = {
         "sir_db",
         "snr_db",
         "packet_bits",
+    ),
+    "physio": (
+        "seed",
+        "n_trials",
+        "chunk_size",
+        "location_indices",
+        "jam_margin_db",
+        "shield_present",
+        "rhythm",
+        "packets_per_record",
     ),
 }
 
@@ -132,6 +143,12 @@ class Scenario:
     snr_db: float = 40.0
     packet_bits: int = 256
 
+    # Physio axes.  ``n_trials`` counts cardiac records per location;
+    # ``jam_margin_db`` and ``shield_present`` are shared with the
+    # attack/passive kinds above.
+    rhythm: str = "normal"
+    packets_per_record: int = 16
+
     def __post_init__(self) -> None:
         # Normalise list-valued axes so equality and hashing are stable
         # whatever sequence type the caller passed.
@@ -162,7 +179,7 @@ class Scenario:
             raise ValueError(
                 f"chunk_size must be positive or None, got {self.chunk_size}"
             )
-        if self.kind in ("attack", "passive_ber"):
+        if self.kind in ("attack", "passive_ber", "physio"):
             if not self.location_indices:
                 raise ValueError("scenario needs at least one location")
             if len(set(self.location_indices)) != len(self.location_indices):
@@ -189,6 +206,21 @@ class Scenario:
                 raise ValueError(
                     f"unknown metric {self.metric!r}; "
                     f"expected one of {ATTACK_METRICS}"
+                )
+        if self.kind == "physio":
+            # Deferred import: the physio package is a leaf; the spec
+            # module must stay importable without pulling experiments in.
+            from repro.physio.ecg import RHYTHM_CHOICES
+
+            if self.rhythm not in RHYTHM_CHOICES:
+                raise ValueError(
+                    f"unknown rhythm {self.rhythm!r}; "
+                    f"expected one of {RHYTHM_CHOICES}"
+                )
+            if self.packets_per_record < 1:
+                raise ValueError(
+                    f"packets_per_record must be positive, "
+                    f"got {self.packets_per_record}"
                 )
         if self.kind == "mimo":
             if not self.separations_m:
@@ -267,6 +299,17 @@ class Scenario:
             return (
                 f"passive eavesdropper at +{self.jam_margin_db:g} dB jamming, "
                 f"{len(self.location_indices)} locations x {self.n_trials} packets"
+            )
+        if self.kind == "physio":
+            condition = (
+                f"shield at +{self.jam_margin_db:g} dB"
+                if self.shield_present
+                else "no shield"
+            )
+            return (
+                f"{self.rhythm} cardiac telemetry, {condition}, "
+                f"{len(self.location_indices)} locations x "
+                f"{self.n_trials} records"
             )
         return (
             f"{self.n_antennas}-antenna eavesdropper, "

@@ -13,6 +13,7 @@ from repro.experiments.metrics import (
     success_probability,
     summarize,
 )
+from repro.experiments.physio_lab import PhysioBatchResult, PhysioLab
 from repro.experiments.report import ExperimentReport, ascii_cdf
 from repro.experiments.sweeps import (
     LocationResult,
@@ -28,6 +29,8 @@ __all__ = [
     "ExperimentReport",
     "LocationResult",
     "PassiveLab",
+    "PhysioBatchResult",
+    "PhysioLab",
     "ascii_cdf",
     "attack_success_sweep",
     "calibrate_b_thresh",

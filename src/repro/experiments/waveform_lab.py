@@ -10,16 +10,18 @@ budget's dBm figures) so the same numbers drive both simulation levels.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
+from repro.adversary.eavesdropper import Eavesdropper
 from repro.adversary.strategies import DecodingStrategy, TreatJammingAsNoise
 from repro.channel.link_budget import LinkBudget
 from repro.core.config import ShieldConfig
 from repro.core.full_duplex import JammerCumReceiver, batch_effective_jam_gains
 from repro.core.jamming import ShapedJammer
 from repro.phy.fsk import FSKConfig, FSKModulator, NoncoherentFSKDemodulator
-from repro.phy.signal import Waveform, db_to_linear, dbm_to_watts
+from repro.phy.signal import db_to_linear, dbm_to_watts
 from repro.phy.spectrum import estimate_frequency_profile
 from repro.protocol.packets import Packet, PacketCodec
 from repro.protocol.commands import CommandType
@@ -28,10 +30,61 @@ __all__ = [
     "PassiveLab",
     "PacketTrial",
     "BatchTrialResult",
+    "PayloadSource",
+    "RandomPayloadSource",
     "TradeoffPoint",
     "cancellation_samples",
     "fsk_profile_peaks",
 ]
+
+
+@runtime_checkable
+class PayloadSource(Protocol):
+    """What fills the telemetry packets the lab jams.
+
+    The figure sweeps only ever measured BER, so random bytes sufficed;
+    content-level experiments (the physiological-leakage grids) plug in
+    a source that serves actual encoded payloads.  A source declares a
+    fixed ``payload_size`` -- every packet in a batch must share one
+    frame layout so trial blocks stack into rectangular bit matrices --
+    and hands out one payload per packet, in transmission order.
+    """
+
+    @property
+    def payload_size(self) -> int:
+        """Payload bytes per packet (fixed for the source's lifetime)."""
+        ...
+
+    def next_payload(self, rng: np.random.Generator) -> bytes:
+        """The next packet's payload; ``rng`` is the lab's RNG stream."""
+        ...
+
+
+@dataclass
+class RandomPayloadSource:
+    """The default source: uniformly random payload bytes.
+
+    Draws exactly the bytes the lab drew before payloads were pluggable
+    (one ``rng.integers(0, 256, size)`` call per packet), so every
+    seeded figure reproduces bit for bit -- the regression tests pin
+    this.
+    """
+
+    size: int = 24
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.size <= 255:
+            raise ValueError(
+                f"payload size must fit the one-byte length field, "
+                f"got {self.size}"
+            )
+
+    @property
+    def payload_size(self) -> int:
+        return self.size
+
+    def next_payload(self, rng: np.random.Generator) -> bytes:
+        return bytes(rng.integers(0, 256, size=self.size))
 
 
 def _dbm_to_linear_mw(power_dbm: float) -> float:
@@ -65,12 +118,15 @@ class BatchTrialResult:
     Receivers the caller chose not to score (``score_shield=False`` /
     ``score_eavesdropper=False`` on :meth:`PassiveLab.run_batch`) carry
     ``None`` fields -- a sweep that only reads one side should not pay
-    for the other.
+    for the other.  ``eavesdropper_bits`` is populated only on request
+    (``return_eavesdropper_bits=True``): BER sweeps never materialise
+    the decoded matrix, content-inference experiments read it directly.
     """
 
     eavesdropper_ber: np.ndarray | None
     shield_bit_errors: np.ndarray | None
     shield_packet_lost: np.ndarray | None
+    eavesdropper_bits: np.ndarray | None = None
 
     @property
     def n_packets(self) -> int:
@@ -126,7 +182,8 @@ class PassiveLab:
         budget: LinkBudget | None = None,
         shield_config: ShieldConfig | None = None,
         fsk: FSKConfig | None = None,
-        seed: int = 0,
+        seed: int | np.random.SeedSequence = 0,
+        payload_source: PayloadSource | None = None,
     ):
         self.budget = budget or LinkBudget()
         self.config = shield_config or ShieldConfig(
@@ -135,6 +192,7 @@ class PassiveLab:
         self.fsk = fsk or FSKConfig()
         self.rng = np.random.default_rng(seed)
         self.codec = PacketCodec()
+        self.payload_source = payload_source or RandomPayloadSource()
         self.modulator = FSKModulator(self.fsk)
         self.demodulator = NoncoherentFSKDemodulator(self.fsk)
         self.jammer = ShapedJammer.matched_to_fsk(
@@ -151,9 +209,14 @@ class PassiveLab:
     # ------------------------------------------------------------------
 
     def telemetry_packet_bits(self) -> np.ndarray:
-        """Bits of a fresh IMD telemetry packet (the jammed payload)."""
+        """Bits of a fresh IMD telemetry packet (the jammed payload).
+
+        The payload comes from the lab's :class:`PayloadSource` -- random
+        bytes by default, encoded physiological windows when a content
+        experiment plugged its own source in.
+        """
         self._sequence = (self._sequence + 1) % 256
-        payload = bytes(self.rng.integers(0, 256, size=24))
+        payload = self.payload_source.next_payload(self.rng)
         packet = Packet(
             self._serial, CommandType.TELEMETRY, self._sequence, payload
         )
@@ -162,9 +225,9 @@ class PassiveLab:
     def telemetry_packet_bits_batch(self, n_packets: int) -> np.ndarray:
         """``(n_packets, n_bits)`` bit matrix of fresh telemetry packets.
 
-        Every packet has the same frame layout (fixed header, 24-byte
-        payload), so a trial block stacks into a rectangular matrix the
-        batched modulator consumes in one pass.
+        Every packet has the same frame layout (fixed header, one
+        source-determined payload size), so a trial block stacks into a
+        rectangular matrix the batched modulator consumes in one pass.
         """
         if n_packets <= 0:
             raise ValueError("need at least one packet in a batch")
@@ -201,13 +264,15 @@ class PassiveLab:
     def run_batch(
         self,
         jam_margin_db: float,
-        n_packets: int,
+        n_packets: int | None = None,
         location_index: int = 1,
         strategy: DecodingStrategy | None = None,
         jammer: ShapedJammer | None = None,
         use_digital: bool = True,
         score_shield: bool = True,
         score_eavesdropper: bool = True,
+        bits: np.ndarray | None = None,
+        return_eavesdropper_bits: bool = False,
     ) -> BatchTrialResult:
         """Transmit ``n_packets`` jammed IMD packets as one vectorized pass.
 
@@ -230,20 +295,45 @@ class PassiveLab:
         randomness and demodulation entirely.  Statistically each scored
         row is an independent trial exactly like :meth:`run_trial`
         produces.
+
+        ``bits`` overrides packet generation with a precomputed
+        ``(n_packets, n_bits)`` matrix -- content experiments transmit
+        *the same* packets under several jamming conditions this way.
+        ``return_eavesdropper_bits`` additionally materialises the
+        decoded bit matrix on the result.
         """
         if not (score_shield or score_eavesdropper):
             raise ValueError("must score at least one receiver")
+        if return_eavesdropper_bits and not score_eavesdropper:
+            raise ValueError(
+                "return_eavesdropper_bits needs score_eavesdropper=True"
+            )
+        if bits is None:
+            if n_packets is None:
+                raise ValueError("pass n_packets or a precomputed bits matrix")
+            bits = self.telemetry_packet_bits_batch(n_packets)
+        else:
+            bits = np.asarray(bits, dtype=np.int64)
+            if bits.ndim != 2:
+                raise ValueError(
+                    f"bits must be (n_packets, n_bits), got shape {bits.shape}"
+                )
+            if n_packets is not None and n_packets != bits.shape[0]:
+                raise ValueError(
+                    f"n_packets={n_packets} disagrees with bits matrix of "
+                    f"{bits.shape[0]} packets"
+                )
         strategy = strategy or TreatJammingAsNoise()
         jammer = jammer or self.jammer
         powers = self._link_powers(jam_margin_db, location_index)
         if self._correlation_path_ok(strategy, jammer):
             return self._run_batch_correlations(
-                n_packets, powers, jammer, use_digital, score_shield,
-                score_eavesdropper,
+                bits, powers, jammer, use_digital, score_shield,
+                score_eavesdropper, return_eavesdropper_bits,
             )
         return self._run_batch_samples(
-            n_packets, powers, strategy, jammer, use_digital, score_shield,
-            score_eavesdropper,
+            bits, powers, strategy, jammer, use_digital, score_shield,
+            score_eavesdropper, return_eavesdropper_bits,
         )
 
     def _link_powers(
@@ -292,16 +382,16 @@ class PassiveLab:
 
     def _run_batch_correlations(
         self,
-        n_packets: int,
+        bits: np.ndarray,
         powers: dict[str, float],
         jammer: ShapedJammer,
         use_digital: bool,
         score_shield: bool,
         score_eavesdropper: bool,
+        return_eavesdropper_bits: bool = False,
     ) -> BatchTrialResult:
         """Correlation-domain batch: exact sufficient statistics only."""
-        bits = self.telemetry_packet_bits_batch(n_packets)
-        n_bits = bits.shape[1]
+        n_packets, n_bits = bits.shape
         spb = self.fsk.samples_per_bit
         h = int(round(self.fsk.modulation_index))
 
@@ -312,14 +402,26 @@ class PassiveLab:
         bits_are_one = bits.astype(bool)
         noise_var = powers["noise"] * spb
 
-        # One jam realisation per packet, shared by both receivers.
-        jam_corr = jammer.tone_correlation_batch(
-            n_packets, self.fsk, n_bits, power=1.0
+        # One jam realisation per packet, shared by both receivers.  An
+        # eavesdropper-only batch with exactly zero jam power (the
+        # shield-absent condition of the physio experiments) skips the
+        # synthesis -- and its RNG draws -- entirely; shield-scored
+        # batches always draw, so every pre-existing seeded figure keeps
+        # its exact stream.
+        jam_corr = (
+            jammer.tone_correlation_batch(n_packets, self.fsk, n_bits, power=1.0)
+            if score_shield or powers["p_jam_adv"] > 0
+            else None
         )
 
-        def received_corr(jam_gains: np.ndarray, signal_gains: np.ndarray):
+        def received_corr(
+            jam_gains: np.ndarray | None, signal_gains: np.ndarray
+        ):
             """One receiver's per-bit correlations, accumulated in place."""
-            corr = jam_corr * jam_gains[:, None, None]
+            if jam_gains is None or jam_corr is None:
+                corr = np.zeros((n_packets, n_bits, 2), dtype=np.complex128)
+            else:
+                corr = jam_corr * jam_gains[:, None, None]
             signal = signal_gains[:, None] * matched
             corr[:, :, 0] += np.where(bits_are_one, 0.0, signal)
             corr[:, :, 1] += np.where(bits_are_one, signal, 0.0)
@@ -331,7 +433,7 @@ class PassiveLab:
             mag = corr.real**2 + corr.imag**2
             return mag[:, :, 1] > mag[:, :, 0]
 
-        shield_errors = shield_lost = eve_ber = None
+        shield_errors = shield_lost = eve_ber = eve_bits = None
         if score_shield:
             effective = batch_effective_jam_gains(
                 self.config, self.rng, n_packets, use_digital=use_digital
@@ -343,16 +445,25 @@ class PassiveLab:
             shield_errors = np.sum(decide(corr) != bits_are_one, axis=1)
             shield_lost = shield_errors > 0
         if score_eavesdropper:
+            jam_gains = (
+                np.sqrt(powers["p_jam_adv"]) * self._random_phases(n_packets)
+                if jam_corr is not None
+                else None
+            )
             corr = received_corr(
-                np.sqrt(powers["p_jam_adv"]) * self._random_phases(n_packets),
+                jam_gains,
                 np.sqrt(powers["p_imd_adv"]) * self._random_phases(n_packets),
             )
-            eve_ber = np.mean(decide(corr) != bits_are_one, axis=1)
+            decisions = decide(corr)
+            eve_ber = np.mean(decisions != bits_are_one, axis=1)
+            if return_eavesdropper_bits:
+                eve_bits = decisions.astype(np.int64)
 
         return BatchTrialResult(
             eavesdropper_ber=eve_ber,
             shield_bit_errors=shield_errors,
             shield_packet_lost=shield_lost,
+            eavesdropper_bits=eve_bits,
         )
 
     def _correlation_noise(
@@ -369,21 +480,28 @@ class PassiveLab:
 
     def _run_batch_samples(
         self,
-        n_packets: int,
+        bits: np.ndarray,
         powers: dict[str, float],
         strategy: DecodingStrategy,
         jammer: ShapedJammer,
         use_digital: bool,
         score_shield: bool = True,
         score_eavesdropper: bool = True,
+        return_eavesdropper_bits: bool = False,
     ) -> BatchTrialResult:
         """General sample-level batch (any strategy, any FSK config)."""
-        bits = self.telemetry_packet_bits_batch(n_packets)
+        n_packets = bits.shape[0]
         clean = self.modulator.modulate_batch(bits)
         n = clean.shape[1]
-        jam = jammer.generate_batch(n_packets, n, power=1.0)
+        # As in the correlation path: an eavesdropper-only batch with
+        # exactly zero jam power never synthesises the jam block.
+        jam = (
+            jammer.generate_batch(n_packets, n, power=1.0)
+            if score_shield or powers["p_jam_adv"] > 0
+            else None
+        )
 
-        shield_errors = shield_lost = eve_ber = None
+        shield_errors = shield_lost = eve_ber = eve_bits = None
         if score_shield:
             # One fresh front end per packet: random channels,
             # probe-quality estimates, antidote engaged -- drawn for the
@@ -407,24 +525,28 @@ class PassiveLab:
             shield_lost = shield_errors > 0
 
         if score_eavesdropper:
-            eve_signal = _rows_scaled_to_power(
+            mixed = _rows_scaled_to_power(
                 clean * self._random_phases(n_packets)[:, None],
                 powers["p_imd_adv"],
             )
-            eve_jam = _rows_scaled_to_power(
-                jam * self._random_phases(n_packets)[:, None], powers["p_jam_adv"]
-            )
-            mixed = eve_signal + eve_jam
+            if jam is not None:
+                mixed = mixed + _rows_scaled_to_power(
+                    jam * self._random_phases(n_packets)[:, None],
+                    powers["p_jam_adv"],
+                )
             mixed = mixed + self._complex_noise(mixed.shape, powers["noise"])
-            eve_bits = self._eavesdropper_decode_batch(
+            decoded = self._eavesdropper_decode_batch(
                 mixed, strategy, bits.shape[1]
             )
-            eve_ber = np.mean(eve_bits != bits, axis=1)
+            eve_ber = np.mean(decoded != bits, axis=1)
+            if return_eavesdropper_bits:
+                eve_bits = decoded
 
         return BatchTrialResult(
             eavesdropper_ber=eve_ber,
             shield_bit_errors=shield_errors,
             shield_packet_lost=shield_lost,
+            eavesdropper_bits=eve_bits,
         )
 
     def _complex_noise(self, shape: tuple[int, ...], power: float) -> np.ndarray:
@@ -447,22 +569,13 @@ class PassiveLab:
     ) -> np.ndarray:
         """Decode a whole block at the eavesdropper.
 
-        The baseline treat-as-noise strategy is a no-op preprocess, so the
-        block goes straight to the batched envelope detector.  Any other
-        strategy -- including subclasses that override ``preprocess`` --
-        keeps its per-waveform preprocessing contract and runs row by row
-        before the batched demodulation.
+        Delegates to :meth:`Eavesdropper.decode_batch` -- the one batch
+        decode path the adversary package owns -- so the lab and any
+        standalone attack pipeline can never drift apart.
         """
-        if type(strategy) is not TreatJammingAsNoise:
-            rows = [
-                strategy.preprocess(
-                    Waveform(row, self.fsk.sample_rate), self.fsk
-                ).samples
-                for row in mixed
-            ]
-            mixed = np.stack(rows)
-        # Both receivers run the same optimal noncoherent detector.
-        return self.demodulator.demodulate_batch(mixed, n_bits=n_bits)
+        return Eavesdropper(self.fsk, strategy).decode_batch(
+            mixed, n_bits=n_bits
+        )
 
     # ------------------------------------------------------------------
     # Experiment sweeps

@@ -1,0 +1,51 @@
+"""Physiological telemetry: the *content* of the jammed packets.
+
+The paper's title claim -- an eavesdropper can "hear your heartbeats" --
+is a claim about medical content, not bit error rates.  This package
+gives the reproduction actual cardiac content to leak:
+
+* :mod:`repro.physio.ecg` -- a vectorized synthetic IEGM/ECG generator
+  (Gaussian-template beats on an RR-interval process) with
+  parameterized heart rate, HRV, and rhythm classes;
+* :mod:`repro.physio.codec` -- the telemetry codec that quantizes
+  waveform windows and beat annotations into the wire-format packet
+  payloads of :mod:`repro.protocol.packets`;
+* :mod:`repro.physio.inference` -- the attacker-side pipeline mapping
+  eavesdropped bits back to a waveform, beats, a heart-rate estimate,
+  and a rhythm class, with the privacy-leakage metrics that quantify
+  what a given BER actually gives away.
+
+:class:`repro.experiments.physio_lab.PhysioLab` ties the three to the
+waveform-level jamming rig, and the ``physio-*`` campaign scenarios
+make the leakage grids runnable via ``python -m repro``.
+"""
+
+from repro.physio.codec import PhysioPayloadSource, WaveformCodec
+from repro.physio.ecg import ECGBatch, ECGConfig, ECGGenerator, RHYTHM_CLASSES
+from repro.physio.inference import (
+    AttackerInference,
+    InferenceConfig,
+    RecordInference,
+    beat_f1,
+    classify_rhythm,
+    detect_beats,
+    estimate_heart_rate,
+    waveform_nrmse,
+)
+
+__all__ = [
+    "AttackerInference",
+    "ECGBatch",
+    "ECGConfig",
+    "ECGGenerator",
+    "InferenceConfig",
+    "PhysioPayloadSource",
+    "RecordInference",
+    "RHYTHM_CLASSES",
+    "WaveformCodec",
+    "beat_f1",
+    "classify_rhythm",
+    "detect_beats",
+    "estimate_heart_rate",
+    "waveform_nrmse",
+]

@@ -148,3 +148,19 @@ class PacketCodec:
     def header_bit_count(self) -> int:
         """Number of bits in the S_id prefix (detection window size ``m``)."""
         return len(self.preamble_bits) + 8 * (1 + SERIAL_LENGTH)
+
+    def payload_slice(self, payload_length: int) -> slice:
+        """Where a ``payload_length``-byte payload sits in the frame bits.
+
+        The frame layout is public (S7(a)): an eavesdropper who knows the
+        protocol can cut the payload field straight out of a demodulated
+        bit vector -- CRC-valid or not -- which is exactly what the
+        physiological-inference attack does with corrupted packets.
+        """
+        if payload_length < 0 or payload_length > _MAX_PAYLOAD:
+            raise ValueError(
+                f"payload_length must lie in [0, {_MAX_PAYLOAD}], "
+                f"got {payload_length}"
+            )
+        start = len(self.preamble_bits) + 8 * (1 + SERIAL_LENGTH + 3)
+        return slice(start, start + 8 * payload_length)

@@ -34,16 +34,26 @@ __all__ = [
     "AdaptivePolicy",
     "AdaptiveRunResult",
     "AdaptiveScheduler",
+    "PHYSIO_MOMENT_KEYS",
+    "metric_estimator",
     "scenario_metrics",
 ]
 
 #: Default target CI half-width per metric: probabilities stop at
 #: +/-0.10 (tighter than a fixed 25-trial sweep resolves mid-range),
-#: bit error rates at +/-0.02.
+#: bit error rates at +/-0.02.  The physio heart-rate errors are in BPM
+#: -- a +/-3 BPM interval separates "leaks the heart rate" from the
+#: ~45 BPM chance regime without demanding thousands of records.
 DEFAULT_PRECISION = {
     "success_probability": 0.10,
     "alarm_probability": 0.10,
     "ber": 0.02,
+    "hr_abs_error": 3.0,
+    "hr_error_vs_chance": 3.0,
+    "hr_abs_error_clear": 3.0,
+    "beat_f1": 0.05,
+    "rhythm_accuracy": 0.10,
+    "waveform_nrmse": 0.05,
 }
 
 
@@ -51,7 +61,59 @@ def scenario_metrics(kind: str) -> tuple[str, ...]:
     """Every metric a scenario kind's work units measure."""
     if kind == "attack":
         return ("success_probability", "alarm_probability")
+    if kind == "physio":
+        return (
+            "hr_abs_error",
+            "hr_error_vs_chance",
+            "hr_abs_error_clear",
+            "beat_f1",
+            "rhythm_accuracy",
+            "waveform_nrmse",
+        )
     return ("ber",)
+
+
+#: Physical range each mean-valued metric's interval clips to; ``None``
+#: means unbounded (the versus-chance gap can be negative).
+_METRIC_BOUNDS: dict[str, tuple[float, float] | None] = {
+    "ber": (0.0, 1.0),
+    "beat_f1": (0.0, 1.0),
+    "hr_abs_error": (0.0, float("inf")),
+    "hr_abs_error_clear": (0.0, float("inf")),
+    "hr_error_vs_chance": None,
+    "waveform_nrmse": (0.0, float("inf")),
+}
+
+_PROPORTION_METRICS = frozenset(
+    {"success_probability", "alarm_probability", "rhythm_accuracy"}
+)
+
+#: Physio mean-valued metric -> the reduced point's (sum, sum-of-squares)
+#: keys.  Shared by the adaptive absorb path and the fixed-budget
+#: ``cells_from_result`` so the two reductions can never drift apart;
+#: ``rhythm_accuracy`` is a proportion and is handled separately.
+PHYSIO_MOMENT_KEYS: dict[str, tuple[str, str]] = {
+    "hr_abs_error": ("hr_err_sum", "hr_err_sqsum"),
+    "hr_error_vs_chance": ("hr_gap_sum", "hr_gap_sqsum"),
+    "hr_abs_error_clear": ("hr_err_clear_sum", "hr_err_clear_sqsum"),
+    "beat_f1": ("beat_f1_sum", "beat_f1_sqsum"),
+    "waveform_nrmse": ("nrmse_sum", "nrmse_sqsum"),
+}
+
+
+def metric_estimator(metric: str) -> SequentialEstimator | MeanEstimator:
+    """A fresh estimator of the right family for one metric.
+
+    Proportions (attack success, alarm rate, rhythm accuracy) get the
+    binomial :class:`SequentialEstimator`; everything else accumulates
+    streaming moments in a :class:`MeanEstimator` clipped to the
+    metric's physical range.
+    """
+    if metric in _PROPORTION_METRICS:
+        return SequentialEstimator()
+    if metric not in _METRIC_BOUNDS:
+        raise ValueError(f"unknown metric {metric!r}")
+    return MeanEstimator(bounds=_METRIC_BOUNDS[metric])
 
 
 @dataclass(frozen=True)
@@ -266,12 +328,10 @@ class AdaptiveScheduler:
         cells = []
         for position, axis in enumerate(self.scenario.axis_values()):
             label = cell_label(self.scenario, axis)
-            estimators: dict[str, SequentialEstimator | MeanEstimator] = {}
-            for metric in scenario_metrics(self.scenario.kind):
-                if metric == "ber":
-                    estimators[metric] = MeanEstimator(bounds=(0.0, 1.0))
-                else:
-                    estimators[metric] = SequentialEstimator()
+            estimators: dict[str, SequentialEstimator | MeanEstimator] = {
+                metric: metric_estimator(metric)
+                for metric in scenario_metrics(self.scenario.kind)
+            }
             cells.append(
                 AdaptiveCell(
                     position=position,
@@ -288,6 +348,15 @@ class AdaptiveScheduler:
         if self.scenario.kind == "attack":
             cell.estimators["success_probability"].update(result["wins"], n)
             cell.estimators["alarm_probability"].update(result["alarms"], n)
+        elif self.scenario.kind == "physio":
+            n_records = result["n_records"]
+            for metric, (total, sq_total) in PHYSIO_MOMENT_KEYS.items():
+                cell.estimators[metric].update(
+                    n_records, result[total], result[sq_total]
+                )
+            cell.estimators["rhythm_accuracy"].update(
+                result["rhythm_correct"], n_records
+            )
         else:
             cell.estimators["ber"].update(
                 result["n_packets"], result["ber_sum"], result["ber_sqsum"]

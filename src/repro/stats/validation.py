@@ -21,8 +21,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.stats.adaptive import (
+    PHYSIO_MOMENT_KEYS,
     AdaptivePolicy,
     AdaptiveScheduler,
+    metric_estimator,
     scenario_metrics,
 )
 from repro.stats.estimator import MeanEstimator, SequentialEstimator
@@ -65,6 +67,16 @@ def cells_from_result(result) -> list[CellStats]:
             estimators["alarm_probability"] = SequentialEstimator(
                 point["alarms"], point["n_trials"]
             )
+        elif result.scenario.kind == "physio":
+            for metric, (total, sq_total) in PHYSIO_MOMENT_KEYS.items():
+                estimator = metric_estimator(metric)
+                estimator.update(
+                    point["n_records"], point[total], point[sq_total]
+                )
+                estimators[metric] = estimator
+            estimators["rhythm_accuracy"] = SequentialEstimator(
+                point["rhythm_correct"], point["n_records"]
+            )
         else:
             estimators["ber"] = MeanEstimator(
                 point["n_packets"],
@@ -84,9 +96,12 @@ def tracked_metrics(scenario, expectations) -> dict[int, set[str]]:
     exactly where a claim will be judged, and an alarm-rate expectation
     on the near locations does not hold the far locations open.
     """
-    headline = (
-        "success_probability" if scenario.kind == "attack" else "ber"
-    )
+    if scenario.kind == "attack":
+        headline = "success_probability"
+    elif scenario.kind == "physio":
+        headline = "hr_abs_error"
+    else:
+        headline = "ber"
     axes = scenario.axis_values()
     tracked = {position: {headline} for position in range(len(axes))}
     known = set(scenario_metrics(scenario.kind))

@@ -19,6 +19,7 @@ FAST_EXAMPLES = [
     "coexistence.py",
     "full_duplex_lab.py",
     "clinical_session.py",
+    "physio_leakage.py",
 ]
 
 

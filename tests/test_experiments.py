@@ -241,15 +241,16 @@ class TestBatchedLab:
         for name, force_samples in (("corr", False), ("samples", True)):
             lab = PassiveLab(seed=13)
             powers = lab._link_powers(20.0, 1)
+            bits = lab.telemetry_packet_bits_batch(60)
             if force_samples:
                 from repro.adversary.strategies import TreatJammingAsNoise
 
                 batch = lab._run_batch_samples(
-                    60, powers, TreatJammingAsNoise(), lab.jammer, True
+                    bits, powers, TreatJammingAsNoise(), lab.jammer, True
                 )
             else:
                 batch = lab._run_batch_correlations(
-                    60, powers, lab.jammer, True, True, True
+                    bits, powers, lab.jammer, True, True, True
                 )
             margins[name] = batch.mean_eavesdropper_ber()
         assert margins["corr"] == pytest.approx(margins["samples"], abs=0.05)

@@ -1,6 +1,7 @@
 """Tests for the golden-figure validation harness and the validate CLI verb."""
 
 import json
+import re
 
 import pytest
 
@@ -204,10 +205,24 @@ class TestValidateCli:
             main(["validate", "attack-success-shielded", "--round-size", "1"])
 
     def test_validate_smoke_all_scenarios(self, capsys, tmp_path):
-        """The CI smoke gate: every registered expectation table holds
-        at the smoke budget."""
+        """The CI smoke gate: no registered expectation is *refuted* at
+        the smoke budget.
+
+        The physio-leakage-shielded versus-chance claim is a two-sided
+        ci_overlap check; four smoke trials cannot localize it, so that
+        one scenario legitimately judges inconclusive (never FAIL) and
+        the gate still exits 0.  Every other scenario must still judge
+        PASS outright, so a regression from confirmed to inconclusive
+        anywhere else turns the gate red.
+        """
         out = _run(
             capsys, "validate", "--budget", "smoke", "--cache-dir", str(tmp_path)
         )
-        assert "validate: PASS" in out
-        assert "9 scenario(s)" in out
+        assert "validate: FAIL" not in out
+        verdicts = dict(
+            re.findall(r"^== (\S+) \[fixed\] -- (\w+) ==$", out, re.MULTILINE)
+        )
+        assert len(verdicts) == 12
+        assert verdicts.pop("physio-leakage-shielded") in {"PASS", "INCONCLUSIVE"}
+        not_passing = {k: v for k, v in verdicts.items() if v != "PASS"}
+        assert not not_passing, not_passing
