@@ -29,11 +29,14 @@ from pathlib import Path
 BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
 DEFAULT_BASELINE = BENCH_DIR / "BENCH_baseline.json"
-#: The gated suites: DSP primitives plus the physiological telemetry
-#: hot paths (ECG synthesis, codec, batch eavesdropping, inference).
+#: The gated suites: DSP primitives, the physiological telemetry hot
+#: paths (ECG synthesis, codec, batch eavesdropping, inference), and
+#: the fleet hot paths (cohort synthesis, shard reduction, SQLite
+#: cache throughput).
 GATED_SUITES = (
     BENCH_DIR / "test_perf_primitives.py",
     BENCH_DIR / "test_perf_physio.py",
+    BENCH_DIR / "test_perf_fleet.py",
 )
 
 

@@ -1,0 +1,59 @@
+"""Population-scale security: a patient cohort end to end.
+
+The paper proves the shield protects *one* patient; deployment
+questions are population questions -- with realistic shield adherence
+and attacker-encounter geometry, what fraction of a cohort has any
+successful attack, and how many audible alarms does the defense cost
+per patient-day?
+
+This example synthesizes a small cohort (per-patient rhythm class,
+encounter location, adherence, and device-calibration spread, all
+drawn from shard-invariant SeedSequence streams), runs every patient's
+encounter through the event-level testbed, and reduces the population
+with streaming mergeable estimators -- no per-patient result list ever
+exists.
+
+Run:  PYTHONPATH=src python examples/fleet_prevalence.py
+
+Full-size cohorts run as cached, resumable campaigns (the SQLite
+backend keeps 10^5-10^6 work units in one file)::
+
+    python -m repro run fleet-attack-prevalence --cache-backend sqlite
+    python -m repro validate fleet-attack-prevalence
+"""
+
+from repro.campaigns import CampaignRunner, registry
+from repro.experiments.report import ExperimentReport
+
+
+def main() -> None:
+    report = ExperimentReport(
+        "Population attack prevalence vs. shield adherence",
+        headers=("adherence", "prevalence", "compromised", "alarms/day"),
+    )
+    base = registry.get("fleet-attack-prevalence").override(
+        n_patients=60, n_trials=1, chunk_size=20
+    )
+    for adherence in (1.0, 0.9, 0.5, 0.0):
+        scenario = base.override(
+            name=f"fleet-demo-{int(adherence * 100)}",
+            shield_worn_fraction=adherence,
+        )
+        result = CampaignRunner(scenario, persist=False).run()
+        point = result.points[0]
+        report.add(
+            f"{adherence:.0%}",
+            f"{point['attack_prevalence']:.3f}",
+            f"{point['patients_compromised']}/{point['n_patients']}",
+            f"{point['alarm_rate_per_day']:.2f}",
+        )
+    print(report.render())
+    print(
+        "\nPopulation risk tracks the non-adherent tail: every shield-off "
+        "patient\nwithin attackable range is compromised, every shield-on "
+        "patient is safe."
+    )
+
+
+if __name__ == "__main__":
+    main()

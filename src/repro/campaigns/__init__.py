@@ -10,15 +10,20 @@ budget.  This package makes that space declarative and operable:
 * :mod:`repro.campaigns.registry` -- the named registry, pre-populated
   with the paper's figures and extension grids (battery DoS,
   crypto-only baseline, MIMO eavesdropper);
-* :mod:`repro.campaigns.cache` -- the per-unit on-disk result cache
-  keyed by (scenario hash, unit coordinates): re-runs are incremental
-  and interrupted campaigns resume instead of restarting;
+* :mod:`repro.campaigns.cache` -- the per-unit result cache keyed by
+  (scenario hash, unit coordinates): re-runs are incremental and
+  interrupted campaigns resume instead of restarting;
+* :mod:`repro.campaigns.store` -- the pluggable storage behind the
+  cache: the historical filesystem layout, or a single-file SQLite
+  store (WAL, atomic upserts) for population-scale unit counts
+  (``--cache-backend`` / ``REPRO_CACHE_BACKEND``);
 * :mod:`repro.campaigns.runner` -- :class:`CampaignRunner`, which
   compiles a scenario into :class:`~repro.runtime.SweepExecutor` work
   units and reduces cached + fresh results to bit-identical numbers in
   any execution order;
 * :mod:`repro.campaigns.cli` -- the ``python -m repro`` command
-  (``list`` / ``run`` / ``status`` / ``compare`` / ``validate``).
+  (``list`` / ``run`` / ``status`` / ``compare`` / ``validate`` /
+  ``cache``).
 
 The registry also carries the *golden-figure expectation table*
 (:func:`registry.expectations_for`): declarative
@@ -36,6 +41,7 @@ name.
 
 from repro.campaigns import registry
 from repro.campaigns.cache import ResultCache, default_cache_dir
+from repro.campaigns.store import FilesystemStore, ResultStore, SQLiteStore
 from repro.campaigns.runner import (
     CampaignResult,
     CampaignRunner,
@@ -51,7 +57,10 @@ __all__ = [
     "CampaignRunner",
     "CampaignStatus",
     "CampaignUnit",
+    "FilesystemStore",
     "ResultCache",
+    "ResultStore",
+    "SQLiteStore",
     "Scenario",
     "default_cache_dir",
     "evaluate_unit",

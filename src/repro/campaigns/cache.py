@@ -1,11 +1,4 @@
-"""Content-addressed on-disk cache of per-unit campaign results.
-
-Layout (one directory per scenario content hash)::
-
-    <root>/
-      <scenario_hash>/
-        scenario.json        # human-readable manifest of the payload
-        <unit_hash>.json     # one completed work unit's result
+"""Content-addressed cache of per-unit campaign results.
 
 Keys are pure content addresses: the scenario hash digests the
 scenario's execution payload (seed included), the unit hash digests the
@@ -16,11 +9,16 @@ so re-runs are incremental and an interrupted campaign resumes instead
 of restarting.
 
 Invalidation needs no bookkeeping: changing any execution parameter
-changes the scenario hash, which lands in a fresh, empty directory.
-Writes are atomic (temp file + ``os.replace``), so a run killed
-mid-write never leaves a corrupt entry -- a half-written temp file is
-simply ignored, and an unreadable entry is treated as absent and
-recomputed.
+changes the scenario hash, which lands in a fresh, empty namespace.
+
+Storage is pluggable (:mod:`repro.campaigns.store`): the default
+filesystem backend keeps the historical one-JSON-file-per-unit layout
+(atomic temp-file + ``os.replace`` writes, so a run killed mid-write
+never leaves a corrupt entry), while the SQLite backend packs every
+unit of a cache root into one WAL-journaled file -- the layout
+population-scale fleet campaigns need, where 10^5-10^6 tiny files
+would collapse the filesystem.  Select with ``backend=``, the
+``--cache-backend`` CLI flag, or ``REPRO_CACHE_BACKEND``.
 """
 
 from __future__ import annotations
@@ -31,6 +29,13 @@ import os
 from pathlib import Path
 
 from repro.campaigns.spec import Scenario
+from repro.campaigns.store import (
+    CacheStats,
+    FilesystemStore,
+    ResultStore,
+    make_store,
+    resolve_backend,
+)
 
 __all__ = ["ResultCache", "default_cache_dir", "unit_hash"]
 
@@ -56,58 +61,62 @@ def unit_hash(coords: dict) -> str:
 
 
 class ResultCache:
-    """Per-unit result store rooted at one directory."""
+    """Per-unit result cache rooted at one directory.
 
-    def __init__(self, root: Path | str):
+    The scenario-aware façade over a :class:`~repro.campaigns.store`
+    backend: it owns content addressing (scenario hashes, manifests)
+    and delegates persistence, so runners never see which layout holds
+    their units.
+    """
+
+    def __init__(self, root: Path | str, backend: str | None = None):
         self.root = Path(root)
+        self.backend = resolve_backend(backend)
+        self.store: ResultStore = make_store(self.root, self.backend)
 
     def scenario_dir(self, scenario: Scenario) -> Path:
-        return self.root / scenario.scenario_hash()
+        """The filesystem namespace of a scenario (filesystem backend).
 
-    def _unit_path(self, scenario: Scenario, key: str) -> Path:
-        return self.scenario_dir(scenario) / f"{key}.json"
+        Kept for the filesystem layout's tooling and tests; the SQLite
+        backend has no per-scenario directory and raises here.
+        """
+        if not isinstance(self.store, FilesystemStore):
+            raise ValueError(
+                f"the {self.backend!r} backend has no per-scenario directory"
+            )
+        return self.store.scenario_dir(scenario.scenario_hash())
 
     def get(self, scenario: Scenario, key: str) -> dict | None:
         """The stored result of one unit, or None if absent/unreadable."""
-        path = self._unit_path(scenario, key)
-        try:
-            payload = json.loads(path.read_text())
-        # ValueError covers JSONDecodeError and UnicodeDecodeError alike:
-        # any unreadable entry (truncated write, disk corruption, stray
-        # binary) must look absent, never crash the resume.
-        except (OSError, ValueError):
-            return None
-        if not isinstance(payload, dict) or "result" not in payload:
-            return None
-        return payload["result"]
+        return self.store.get(scenario.scenario_hash(), key)
 
     def put(
         self, scenario: Scenario, key: str, coords: dict, result: dict
     ) -> None:
         """Persist one completed unit atomically."""
-        directory = self.scenario_dir(scenario)
-        directory.mkdir(parents=True, exist_ok=True)
-        self._write_manifest(scenario, directory)
-        payload = {"coords": coords, "result": result}
-        path = self._unit_path(scenario, key)
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1) + "\n")
-        os.replace(tmp, path)
-
-    def cached_keys(self, scenario: Scenario, keys: list[str]) -> set[str]:
-        """Which of ``keys`` already hold a readable result."""
-        return {key for key in keys if self.get(scenario, key) is not None}
-
-    def _write_manifest(self, scenario: Scenario, directory: Path) -> None:
-        """A human-readable record of what this namespace holds."""
-        manifest = directory / "scenario.json"
-        if manifest.exists():
-            return
-        body = {
+        manifest = {
             "name": scenario.name,
             "title": scenario.title,
             "payload": scenario.payload(),
         }
-        tmp = manifest.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(body, sort_keys=True, indent=1) + "\n")
-        os.replace(tmp, manifest)
+        self.store.put(
+            scenario.scenario_hash(), key, coords, result, manifest=manifest
+        )
+
+    def cached_keys(self, scenario: Scenario, keys: list[str]) -> set[str]:
+        """Which of ``keys`` the store already holds.
+
+        One membership query per call (a single directory listing or
+        indexed SELECT), never a filesystem stat per key -- the
+        difference between an instant and an unusable ``repro status``
+        on a 10^5-unit fleet campaign.
+        """
+        return self.store.cached_keys(scenario.scenario_hash(), keys)
+
+    def stats(self) -> CacheStats:
+        """Entries, bytes, and per-scenario counts of this cache root."""
+        return self.store.stats()
+
+    def prune(self, scenario_hashes: list[str] | None = None) -> int:
+        """Drop whole scenario namespaces (``None`` = everything)."""
+        return self.store.prune(scenario_hashes)

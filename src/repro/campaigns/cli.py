@@ -1,12 +1,13 @@
 """The ``python -m repro`` command-line interface.
 
-Five subcommands operate the campaign subsystem::
+Six subcommands operate the campaign subsystem::
 
     python -m repro list                         # what can be run
     python -m repro run attack-success-shielded  # run (resumes from cache)
     python -m repro status attack-success-shielded
     python -m repro compare attack-success-unshielded attack-success-shielded
     python -m repro validate                     # golden-figure check
+    python -m repro cache stats                  # cache usage / cleanup
 
 ``run``, ``compare``, and ``validate`` emit text (default), markdown,
 or JSON via :class:`repro.experiments.report.ExperimentReport`, so
@@ -29,10 +30,19 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+from pathlib import Path
 
 from repro.campaigns import registry
 from repro.campaigns.cache import default_cache_dir
+from repro.campaigns.store import (
+    BACKENDS,
+    CACHE_BACKEND_ENV,
+    SQLiteStore,
+    make_store,
+    resolve_backend,
+)
 from repro.campaigns.runner import CampaignResult, CampaignRunner
 from repro.campaigns.spec import Scenario
 from repro.experiments.metrics import success_probability
@@ -82,6 +92,8 @@ def _apply_overrides(scenario: Scenario, args: argparse.Namespace) -> Scenario:
         changes["chunk_size"] = args.chunk_size
     if args.locations is not None:
         changes["location_indices"] = _parse_locations(args.locations)
+    if getattr(args, "patients", None) is not None:
+        changes["n_patients"] = args.patients
     if not changes:
         return scenario
     try:
@@ -97,6 +109,7 @@ def _runner(scenario: Scenario, args: argparse.Namespace) -> CampaignRunner:
             cache_dir=args.cache_dir,
             workers=args.workers,
             persist=not args.no_cache,
+            cache_backend=args.cache_backend,
         )
     except ValueError as exc:  # e.g. --workers -1
         raise SystemExit(f"error: {exc}") from None
@@ -145,6 +158,46 @@ def _result_report(result: CampaignResult) -> ExperimentReport:
                 f"{point['rhythm_accuracy']:.2f}",
                 note,
             )
+    elif scenario.kind == "fleet":
+        report = ExperimentReport(
+            title, headers=("population", "metric", "value", "note")
+        )
+        point = result.points[0]
+        report.add(
+            point["label"],
+            "shield adherence",
+            f"{point.get('shield_worn_fraction', 0.0):.0%}",
+            "",
+        )
+        if scenario.fleet_task == "attack":
+            report.add(
+                point["label"],
+                "attack prevalence",
+                f"{point['attack_prevalence']:.3f}",
+                f"{point['patients_compromised']} patient(s) compromised",
+            )
+            report.add(
+                point["label"],
+                "alarms / patient-day",
+                f"{point['alarm_rate_per_day']:.3f}",
+                f"{point['alarms_total']} alarm(s) total",
+            )
+        else:
+            report.add(
+                point["label"],
+                "HR leak median / p10 / p90",
+                f"{point['hr_leak_median_bpm']:.1f} / "
+                f"{point['hr_leak_p10_bpm']:.1f} / "
+                f"{point['hr_leak_p90_bpm']:.1f} bpm",
+                "p10 = the unshielded tail",
+            )
+            strata = point["ber_strata"]
+            report.add(
+                point["label"],
+                "BER strata",
+                " / ".join(f"{k} {v}" for k, v in strata.items()),
+                f"mean BER {point['mean_ber']:.2f}",
+            )
     else:
         report = ExperimentReport(
             title, headers=("separation", "BER", "jam rejection", "attempts")
@@ -172,6 +225,18 @@ def _budget_scenario(scenario: Scenario, budget: str) -> Scenario:
     """Apply a ``validate --budget`` preset to a registered scenario."""
     preset = _BUDGETS[budget]
     changes: dict = {}
+    if scenario.kind == "fleet":
+        # Fleet budgets scale the cohort, not trials-per-patient: 100
+        # encounters per patient would buy precision on the wrong axis
+        # (population statistics converge in patients).
+        if budget == "smoke":
+            changes = {
+                "n_patients": min(scenario.n_patients, 30),
+                "n_trials": min(scenario.n_trials, 2),
+            }
+        elif budget == "full":
+            changes = {"n_patients": scenario.n_patients * 4}
+        return scenario.override(**changes) if changes else scenario
     if preset["n_trials"] is not None:
         changes["n_trials"] = preset["n_trials"]
     if preset["shrink_grid"]:
@@ -285,7 +350,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_status(args: argparse.Namespace) -> int:
     scenario = _apply_overrides(_resolve(args.scenario), args)
-    status = CampaignRunner(scenario, cache_dir=args.cache_dir).status()
+    try:
+        runner = CampaignRunner(
+            scenario,
+            cache_dir=args.cache_dir,
+            cache_backend=args.cache_backend,
+        )
+    except ValueError as exc:  # e.g. a bad REPRO_CACHE_BACKEND
+        raise SystemExit(f"error: {exc}") from None
+    status = runner.status()
     if args.json:
         print(json.dumps(status.__dict__, indent=2, sort_keys=True))
         return 0
@@ -308,6 +381,16 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"error: cannot compare a {scenario_a.kind!r} scenario with a "
             f"{scenario_b.kind!r} one"
+        )
+    if (
+        scenario_a.kind == "fleet"
+        and scenario_a.fleet_task != scenario_b.fleet_task
+    ):
+        # Different tasks measure disjoint population metrics; failing
+        # here beats running both cohorts and dying on the headline key.
+        raise SystemExit(
+            f"error: cannot compare a {scenario_a.fleet_task!r}-task fleet "
+            f"scenario with a {scenario_b.fleet_task!r}-task one"
         )
     result_a = _runner(scenario_a, args).run()
     result_b = _runner(scenario_b, args).run()
@@ -389,6 +472,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
                 workers=args.workers,
                 persist=not args.no_cache,
                 confidence=args.confidence,
+                cache_backend=args.cache_backend,
             )
         except ValueError as exc:  # e.g. bad --workers
             raise SystemExit(f"error: {exc}") from None
@@ -412,6 +496,145 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cache_stores(args: argparse.Namespace) -> list:
+    """The stores a ``cache`` verb operates on.
+
+    An explicit selection (``--cache-backend`` or
+    ``REPRO_CACHE_BACKEND``) names one store.  With no selection the
+    verb covers *every* layout living in the root -- both backends can
+    share one cache directory, and "stats" or "prune --all" that
+    silently skipped the other layout's (possibly large) data would
+    misreport what is actually on disk.
+    """
+    root = Path(
+        args.cache_dir if args.cache_dir is not None else default_cache_dir()
+    )
+    selected = (
+        args.cache_backend is not None
+        or os.environ.get(CACHE_BACKEND_ENV, "").strip()
+    )
+    try:
+        if selected:
+            # resolve_backend owns the flag -> env -> default policy.
+            return [make_store(root, resolve_backend(args.cache_backend))]
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    stores = [make_store(root, "filesystem")]
+    if (root / SQLiteStore.FILENAME).exists():
+        stores.append(make_store(root, "sqlite"))
+    return stores
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    all_stats = [store.stats() for store in _cache_stores(args)]
+    entries = sum(s.entries for s in all_stats)
+    n_bytes = sum(s.bytes for s in all_stats)
+    if args.json:
+        print(json.dumps(
+            {
+                "entries": entries,
+                "bytes": n_bytes,
+                "scenarios": [
+                    {
+                        "hash": s.scenario_hash,
+                        "name": s.name,
+                        "backend": stats.backend,
+                        "entries": s.entries,
+                        "bytes": s.bytes,
+                    }
+                    for stats in all_stats
+                    for s in stats.scenarios
+                ],
+                "stores": [
+                    {
+                        "backend": stats.backend,
+                        "location": stats.location,
+                        "entries": stats.entries,
+                        "bytes": stats.bytes,
+                    }
+                    for stats in all_stats
+                ],
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+        return 0
+    locations = ", ".join(
+        f"{stats.location} [{stats.backend}]" for stats in all_stats
+    )
+    report = ExperimentReport(
+        f"cache at {locations}",
+        headers=("scenario", "hash", "entries", "size"),
+    )
+    namespaces = 0
+    for stats in all_stats:
+        # The backend tag only matters when the root holds both layouts.
+        tag = f" [{stats.backend}]" if len(all_stats) > 1 else ""
+        for s in stats.scenarios:
+            namespaces += 1
+            report.add(
+                s.name or "(no manifest)",
+                f"{s.scenario_hash}{tag}",
+                str(s.entries),
+                _human_bytes(s.bytes),
+            )
+    print(report.render())
+    print(
+        f"\ntotal: {entries} unit(s), {_human_bytes(n_bytes)} "
+        f"across {namespaces} scenario namespace(s)"
+    )
+    return 0
+
+
+def _cmd_cache_prune(args: argparse.Namespace) -> int:
+    if bool(args.scenario) == bool(args.all):
+        raise SystemExit(
+            "error: pass exactly one of --scenario NAME or --all"
+        )
+    stores = _cache_stores(args)
+    if args.all:
+        removed = sum(store.prune() for store in stores)
+        print(f"pruned {removed} unit(s) (everything)")
+        return 0
+    # A name may own several namespaces (overridden trials, seeds, old
+    # schema versions) in either layout; prune every namespace whose
+    # manifest carries it.  Resolution reads only the manifests --
+    # never the unit entries, which at fleet counts would turn a name
+    # lookup into a full metadata sweep.
+    removed = 0
+    namespaces = 0
+    known: set[str] = set()
+    for store in stores:
+        names = store.namespace_names()
+        known.update(name for name in names.values() if name)
+        matches = [
+            scenario_hash
+            for scenario_hash, name in names.items()
+            if name == args.scenario
+        ]
+        if matches:
+            removed += store.prune(matches)
+            namespaces += len(matches)
+    if not namespaces:
+        raise SystemExit(
+            f"error: no cached namespace is named {args.scenario!r}; "
+            f"cached scenarios: {', '.join(sorted(known)) or '(none)'}"
+        )
+    print(
+        f"pruned {removed} unit(s) from {namespaces} namespace(s) "
+        f"of {args.scenario!r}"
+    )
+    return 0
+
+
+def _human_bytes(n: int) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{n} B"
+        n /= 1024
+    return f"{n:.1f} GiB"
+
+
 # ----------------------------------------------------------------------
 # Argument parsing
 # ----------------------------------------------------------------------
@@ -433,6 +656,10 @@ def _add_override_args(parser: argparse.ArgumentParser) -> None:
         "--locations", default=None,
         help="comma-separated location indices (attack/passive scenarios)",
     )
+    parser.add_argument(
+        "--patients", type=int, default=None,
+        help="override the cohort size (fleet scenarios only)",
+    )
 
 
 def _add_execution_args(parser: argparse.ArgumentParser) -> None:
@@ -443,6 +670,11 @@ def _add_execution_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir", default=None,
         help=f"result cache root (default: REPRO_CACHE_DIR or {default_cache_dir()})",
+    )
+    parser.add_argument(
+        "--cache-backend", choices=BACKENDS, default=None,
+        help="result store layout (default: REPRO_CACHE_BACKEND, else "
+             "filesystem; fleet-scale runs should use sqlite)",
     )
     parser.add_argument(
         "--no-cache", action="store_true",
@@ -481,6 +713,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_status.add_argument("scenario", help="registered scenario name")
     p_status.add_argument("--json", action="store_true", help="emit JSON")
     p_status.add_argument("--cache-dir", default=None, help="result cache root")
+    p_status.add_argument(
+        "--cache-backend", choices=BACKENDS, default=None,
+        help="result store layout (default: REPRO_CACHE_BACKEND)",
+    )
     _add_override_args(p_status)
     p_status.set_defaults(func=_cmd_status)
 
@@ -542,6 +778,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_execution_args(p_val)
     p_val.set_defaults(func=_cmd_validate)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect and clean the result cache"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+
+    p_cache_stats = cache_sub.add_parser(
+        "stats", help="entries, bytes, and per-scenario counts"
+    )
+    p_cache_stats.add_argument("--json", action="store_true", help="emit JSON")
+    p_cache_stats.add_argument(
+        "--cache-dir", default=None, help="result cache root"
+    )
+    p_cache_stats.add_argument(
+        "--cache-backend", choices=BACKENDS, default=None,
+        help="result store layout (default: REPRO_CACHE_BACKEND)",
+    )
+    p_cache_stats.set_defaults(func=_cmd_cache_stats)
+
+    p_cache_prune = cache_sub.add_parser(
+        "prune", help="drop cached scenario namespaces"
+    )
+    p_cache_prune.add_argument(
+        "--scenario", default=None,
+        help="prune every cached namespace of this scenario name",
+    )
+    p_cache_prune.add_argument(
+        "--all", action="store_true", help="prune the whole cache root"
+    )
+    p_cache_prune.add_argument(
+        "--cache-dir", default=None, help="result cache root"
+    )
+    p_cache_prune.add_argument(
+        "--cache-backend", choices=BACKENDS, default=None,
+        help="result store layout (default: REPRO_CACHE_BACKEND)",
+    )
+    p_cache_prune.set_defaults(func=_cmd_cache_prune)
 
     return parser
 

@@ -10,7 +10,10 @@ entries the paper's figures do not cover but its threat model raises:
   so command *execution* is blocked but every delivered packet still
   costs the IMD receive/verify energy (the reason the paper argues for
   an external defense);
-* the S3.2 MIMO eavesdropper versus shield-to-IMD separation.
+* the S3.2 MIMO eavesdropper versus shield-to-IMD separation;
+* population-scale fleet cohorts (``repro.fleet``, docs/fleet.md):
+  attack prevalence, privacy-leakage quantiles, and alarm burden
+  across patient populations with adherence and calibration spread.
 
 Registering a new scenario is one :func:`register` call with a
 :class:`~repro.campaigns.spec.Scenario`; the campaign runner, cache,
@@ -318,6 +321,70 @@ def _register_builtins() -> None:
         n_trials=40,
     ))
 
+    # --- population-scale fleet cohorts (see repro.fleet) -------------
+    register(Scenario(
+        name="fleet-attack-prevalence",
+        kind="fleet",
+        title="Fleet: population prevalence of successful therapy tampering",
+        description=(
+            "A patient cohort with 90% shield adherence, per-device "
+            "calibration spread, and attacker encounters drawn across the "
+            "Fig. 6 geometry: what fraction of the population has any "
+            "successful therapy-tampering attack?  The residual risk is "
+            "the non-adherent tail -- the ecosystem framing of IMDfence "
+            "and Newaz et al.'s healthcare-security survey."
+        ),
+        tags=("extension", "fleet", "population", "active"),
+        fleet_task="attack",
+        attacker="fcc",
+        command="therapy",
+        n_patients=400,
+        n_trials=2,
+        shield_worn_fraction=0.9,
+        location_indices=tuple(range(1, 15)),
+    ))
+    register(Scenario(
+        name="fleet-privacy-leakage",
+        kind="fleet",
+        title="Fleet: population distribution of heart-rate leakage",
+        description=(
+            "Cardiac telemetry across a cohort with 80% shield adherence "
+            "and mixed rhythm prevalence: the median patient's HR leaks "
+            "nothing (error at the chance floor), while the 10th "
+            "percentile -- the unshielded tail at clinical range -- still "
+            "leaks to clinical precision.  Population quantiles come from "
+            "a mergeable fixed-bin sketch, never a per-patient list."
+        ),
+        tags=("extension", "fleet", "population", "privacy", "passive"),
+        fleet_task="physio",
+        n_patients=250,
+        n_trials=1,
+        packets_per_record=8,
+        shield_worn_fraction=0.8,
+        location_indices=tuple(range(1, 19)),
+    ))
+    register(Scenario(
+        name="fleet-alarm-burden",
+        kind="fleet",
+        title="Fleet: alarm burden per patient-day at full adherence",
+        description=(
+            "Every patient wears the shield; unauthorized interrogation "
+            "attempts arrive across the geometry.  The shield blocks every "
+            "one (prevalence ~0) while the audible alarm fires only on "
+            "near-range attempts -- the usability cost of the defense, "
+            "measured as alarms per patient-day across the population."
+        ),
+        tags=("extension", "fleet", "population", "active"),
+        fleet_task="attack",
+        attacker="fcc",
+        command="interrogate",
+        n_patients=300,
+        n_trials=4,
+        shield_worn_fraction=1.0,
+        observation_days=1.0,
+        location_indices=tuple(range(1, 15)),
+    ))
+
     register(Scenario(
         name="mimo-eavesdropper",
         kind="mimo",
@@ -522,6 +589,55 @@ def _register_builtin_expectations() -> None:
             axes=(1, 4),
             note="Mixed rhythms included, near-range HR still leaks to "
                  "a few BPM",
+        ),
+    )
+    register_expectations(
+        "fleet-attack-prevalence",
+        Expectation(
+            metric="attack_prevalence", kind="upper_bound", value=0.12,
+            note="Fleet: 90% shield adherence holds population therapy-"
+                 "tampering prevalence near the non-adherent tail",
+        ),
+        Expectation(
+            metric="attack_prevalence", kind="lower_bound", value=0.02,
+            note="Fleet: the residual risk is real -- unshielded patients "
+                 "at attackable range are reliably compromised",
+        ),
+    )
+    register_expectations(
+        "fleet-privacy-leakage",
+        Expectation(
+            metric="hr_leak_median_bpm", kind="lower_bound", value=20.0,
+            note="Fleet: the median patient's HR error sits at the "
+                 "jamming chance floor -- tens of BPM, clinically useless",
+        ),
+        Expectation(
+            metric="hr_leak_p10_bpm", kind="upper_bound", value=3.0,
+            note="Fleet: the 10th percentile (the unshielded tail at "
+                 "clinical range) still leaks HR to a few BPM",
+        ),
+        Expectation(
+            metric="mean_ber", kind="lower_bound", value=0.35,
+            note="Fleet: population mean eavesdropper BER stays near "
+                 "coin flips because most links are jammed",
+        ),
+    )
+    register_expectations(
+        "fleet-alarm-burden",
+        Expectation(
+            metric="attack_prevalence", kind="upper_bound", value=0.02,
+            note="Fleet: at full adherence the shield blocks every "
+                 "interrogation across the population",
+        ),
+        Expectation(
+            metric="alarm_rate_per_day", kind="upper_bound", value=0.6,
+            note="Fleet: the audible-alarm burden stays well under one "
+                 "alarm per patient-day -- only near-range attempts fire",
+        ),
+        Expectation(
+            metric="alarm_rate_per_day", kind="lower_bound", value=0.1,
+            note="Fleet: alarms do fire on close-range attempts -- the "
+                 "patient is actually notified (S7(d))",
         ),
     )
     register_expectations(

@@ -35,9 +35,18 @@ from repro.experiments.sweeps import (
     reduce_attack_counts,
     run_attack_chunk,
 )
+from repro.fleet.cohort import cohort_from_scenario
+from repro.fleet.metrics import FleetAccumulator
+from repro.fleet.runner import FleetChunkSpec, run_fleet_chunk
 from repro.runtime import SweepExecutor, chunk_sizes
 from repro.runtime.seeding import round_seed_sequence, unit_seed_sequence
 from repro.stats.adaptive import PHYSIO_MOMENT_KEYS
+
+#: Patients per fleet work unit when the scenario does not set
+#: ``chunk_size``.  Small enough that a shard's wall time stays in
+#: seconds (resume granularity, pool balance), large enough that the
+#: per-unit cache overhead vanishes against 10^4-10^6 patients.
+DEFAULT_FLEET_SHARD = 100
 
 __all__ = [
     "CampaignRunner",
@@ -183,6 +192,8 @@ def evaluate_unit(spec) -> dict:
         return _run_mimo_chunk(spec)
     if isinstance(spec, _PhysioChunkSpec):
         return _run_physio_chunk(spec)
+    if isinstance(spec, FleetChunkSpec):
+        return run_fleet_chunk(spec)
     raise TypeError(f"unknown work-unit spec {type(spec).__name__}")
 
 
@@ -235,6 +246,12 @@ class CampaignResult:
             return "success_probability"
         if self.scenario.kind == "physio":
             return "hr_abs_error"
+        if self.scenario.kind == "fleet":
+            return (
+                "attack_prevalence"
+                if self.scenario.fleet_task == "attack"
+                else "hr_leak_median_bpm"
+            )
         return "ber"
 
     def point(self, axis) -> dict:
@@ -282,6 +299,8 @@ def cell_label(scenario: Scenario, axis) -> str:
     """Human label of one grid point of a scenario."""
     if scenario.kind == "mimo":
         return f"separation {axis:.2f} m"
+    if scenario.kind == "fleet":
+        return f"cohort of {scenario.n_patients} patients"
     return location_label(axis)
 
 
@@ -315,6 +334,14 @@ def plan_scenario_units(
     trials = scenario.n_trials if n_trials is None else n_trials
     if trials < 1:
         raise ValueError(f"n_trials must be positive, got {trials}")
+    if scenario.kind == "fleet":
+        if round_index is not None:
+            raise ValueError(
+                "fleet scenarios run fixed-budget only: a cohort is one "
+                "population draw, not a per-cell precision target "
+                "(adaptive rounds are not planned for kind='fleet')"
+            )
+        return _plan_fleet_units(scenario, trials)
     units: list[CampaignUnit] = []
     for position in positions:
         if scenario.kind == "attack":
@@ -435,6 +462,47 @@ def plan_scenario_units(
     return units
 
 
+def _plan_fleet_units(scenario: Scenario, trials: int) -> list[CampaignUnit]:
+    """Shard a cohort into contiguous patient-range work units.
+
+    Unit identity is (shard index, patient range, trials per patient):
+    pure plan coordinates, exactly like every other kind -- patient
+    streams are keyed by absolute patient index, so the shard layout
+    never touches the numbers, only the caching/parallelism grain.
+    """
+    cohort = cohort_from_scenario(scenario)
+    shard = (
+        scenario.chunk_size
+        if scenario.chunk_size is not None
+        else DEFAULT_FLEET_SHARD
+    )
+    units: list[CampaignUnit] = []
+    start = 0
+    for shard_index, size in enumerate(
+        chunk_sizes(scenario.n_patients, shard)
+    ):
+        coords = {
+            "kind": "fleet",
+            "shard": shard_index,
+            "start": start,
+            "n_patients": size,
+            "n_trials": trials,
+        }
+        spec = FleetChunkSpec(
+            cohort=cohort,
+            start=start,
+            count=size,
+            trials_per_patient=trials,
+            task=scenario.fleet_task,
+            attacker=scenario.attacker,
+            command=scenario.command,
+            packets_per_record=scenario.packets_per_record,
+        )
+        units.append(CampaignUnit(unit_hash(coords), coords, spec))
+        start += size
+    return units
+
+
 # ----------------------------------------------------------------------
 # The runner
 # ----------------------------------------------------------------------
@@ -457,6 +525,11 @@ class CampaignRunner:
     persist:
         ``False`` runs fully in memory (examples, throwaway grids): no
         cache reads, no writes.
+    cache_backend:
+        Result-store layout: ``"filesystem"`` (default) or
+        ``"sqlite"``; ``None`` defers to ``REPRO_CACHE_BACKEND``.
+        Fleet-scale campaigns should prefer SQLite -- one WAL file
+        instead of 10^5-10^6 tiny JSON files.
     """
 
     def __init__(
@@ -465,12 +538,16 @@ class CampaignRunner:
         cache_dir: Path | str | None = None,
         workers: int | None = None,
         persist: bool = True,
+        cache_backend: str | None = None,
     ):
         self.scenario = scenario
         self.executor = SweepExecutor(workers)
         self.persist = persist
         self.cache: ResultCache | None = (
-            ResultCache(cache_dir if cache_dir is not None else default_cache_dir())
+            ResultCache(
+                cache_dir if cache_dir is not None else default_cache_dir(),
+                backend=cache_backend,
+            )
             if persist
             else None
         )
@@ -658,6 +735,8 @@ class CampaignRunner:
                 point["rhythm_correct"] = int(bucket["rhythm_correct"])
                 points.append(point)
             return points
+        if scenario.kind == "fleet":
+            return [_reduce_fleet(scenario, results)]
         # mimo
         ber_sums: dict[int, float] = {}
         ber_sqsums: dict[int, float] = {}
@@ -688,3 +767,50 @@ class CampaignRunner:
 
     def _location_label(self, index: int) -> str:
         return location_label(index)
+
+
+def _reduce_fleet(scenario: Scenario, results: list[dict]) -> dict:
+    """Merge shard accumulators into the one population grid point.
+
+    The merge is a stream of fixed-size statistic folds -- never a
+    per-patient list -- so the reduction's memory is O(1) in cohort
+    size.  The full merged accumulator payload rides along under
+    ``"accumulator"`` so golden-figure validation can rebuild exact
+    estimators (including the quantile sketch) from the cached point.
+    """
+    merged = FleetAccumulator()
+    for result in results:
+        merged.merge(FleetAccumulator.from_payload(result))
+    point: dict = {
+        "axis": "population",
+        "label": cell_label(scenario, "population"),
+        "n_patients": merged.patients,
+        "shield_worn": merged.shield_worn,
+        "trials_total": merged.trials_total,
+        "patient_days": merged.patient_days,
+        "accumulator": merged.to_payload(),
+    }
+    if merged.patients:
+        point["shield_worn_fraction"] = merged.shield_worn / merged.patients
+    if scenario.fleet_task == "attack":
+        point.update(
+            {
+                "attack_prevalence": merged.prevalence_estimator().estimate,
+                "patients_compromised": merged.patients_compromised,
+                "wins_total": merged.wins_total,
+                "alarms_total": merged.alarms_total,
+                "alarm_rate_per_day": merged.alarm_rate_estimator().estimate,
+            }
+        )
+    else:
+        point.update(
+            {
+                "hr_leak_median_bpm": merged.hr_quantile_estimator(0.5).estimate,
+                "hr_leak_p10_bpm": merged.hr_quantile_estimator(0.1).estimate,
+                "hr_leak_p90_bpm": merged.hr_quantile_estimator(0.9).estimate,
+                "mean_hr_leak_bpm": merged.hr_err_sum / merged.physio_patients,
+                "mean_ber": merged.mean_ber_estimator().estimate,
+                "ber_strata": dict(merged.strata),
+            }
+        )
+    return point

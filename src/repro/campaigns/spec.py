@@ -39,10 +39,27 @@ __all__ = ["Scenario", "SCHEMA_VERSION"]
 #: cache entries can never be misread as new ones.  v2: passive/MIMO
 #: unit results carry second moments (``ber_sqsum``) for confidence
 #: intervals and adaptive stopping.  v3: the ``physio`` scenario kind
-#: (cardiac telemetry content + privacy-leakage moments).
-SCHEMA_VERSION = 3
+#: (cardiac telemetry content + privacy-leakage moments).  v4: the
+#: ``fleet`` scenario kind (population cohorts + sharded streaming
+#: reduction).
+SCHEMA_VERSION = 4
 
-_KINDS = ("attack", "passive_ber", "mimo", "physio")
+#: Schema version stamped into each kind's payload: the version at
+#: which that kind's payload semantics or unit-result shape last
+#: changed.  Versioning per kind means adding a new kind (v4: fleet)
+#: cannot invalidate the cached results of the existing kinds -- their
+#: payloads, and therefore their content hashes, are byte-identical to
+#: what v3 wrote.  Regression-pinned by the scenario-hash stability
+#: tests.
+_KIND_SCHEMA_VERSION = {
+    "attack": 3,
+    "passive_ber": 3,
+    "mimo": 3,
+    "physio": 3,
+    "fleet": 4,
+}
+
+_KINDS = ("attack", "passive_ber", "mimo", "physio", "fleet")
 _ATTACKERS = ("fcc", "highpower")
 _COMMANDS = ("interrogate", "therapy")
 
@@ -86,6 +103,25 @@ _PAYLOAD_FIELDS: dict[str, tuple[str, ...]] = {
         "jam_margin_db",
         "shield_present",
         "rhythm",
+        "packets_per_record",
+    ),
+    "fleet": (
+        "seed",
+        "n_trials",
+        "chunk_size",
+        "location_indices",
+        "n_patients",
+        "fleet_task",
+        "attacker",
+        "command",
+        "rhythm_prevalence",
+        "location_weights",
+        "shield_worn_fraction",
+        "jam_margin_mean_db",
+        "jam_margin_std_db",
+        "p_thresh_std_db",
+        "cancellation_std_db",
+        "observation_days",
         "packets_per_record",
     ),
 }
@@ -149,6 +185,23 @@ class Scenario:
     rhythm: str = "normal"
     packets_per_record: int = 16
 
+    # Fleet axes (population cohorts; see repro.fleet).  ``n_trials``
+    # counts encounters per patient (attack attempts or telemetry
+    # records), ``chunk_size`` patients per work-unit shard, and
+    # ``location_indices`` the candidate encounter geometries each
+    # patient's adversary is drawn from.  ``attacker``, ``command`` and
+    # ``packets_per_record`` are shared with the kinds above.
+    n_patients: int = 200
+    fleet_task: str = "attack"
+    rhythm_prevalence: tuple[float, ...] = (0.70, 0.10, 0.10, 0.10)
+    location_weights: tuple[float, ...] | None = None
+    shield_worn_fraction: float = 0.9
+    jam_margin_mean_db: float = 20.0
+    jam_margin_std_db: float = 1.5
+    p_thresh_std_db: float = 1.0
+    cancellation_std_db: float = 2.0
+    observation_days: float = 1.0
+
     def __post_init__(self) -> None:
         # Normalise list-valued axes so equality and hashing are stable
         # whatever sequence type the caller passed.
@@ -159,6 +212,17 @@ class Scenario:
         object.__setattr__(
             self, "separations_m", tuple(float(s) for s in self.separations_m)
         )
+        object.__setattr__(
+            self,
+            "rhythm_prevalence",
+            tuple(float(p) for p in self.rhythm_prevalence),
+        )
+        if self.location_weights is not None:
+            object.__setattr__(
+                self,
+                "location_weights",
+                tuple(float(w) for w in self.location_weights),
+            )
         self._validate()
 
     def _validate(self) -> None:
@@ -179,7 +243,7 @@ class Scenario:
             raise ValueError(
                 f"chunk_size must be positive or None, got {self.chunk_size}"
             )
-        if self.kind in ("attack", "passive_ber", "physio"):
+        if self.kind in ("attack", "passive_ber", "physio", "fleet"):
             if not self.location_indices:
                 raise ValueError("scenario needs at least one location")
             if len(set(self.location_indices)) != len(self.location_indices):
@@ -191,7 +255,7 @@ class Scenario:
                     f"unknown testbed location(s) {bad}; the Fig. 6 geometry "
                     f"numbers locations {min(known)}-{max(known)}"
                 )
-        if self.kind == "attack":
+        if self.kind in ("attack", "fleet"):
             if self.attacker not in _ATTACKERS:
                 raise ValueError(
                     f"unknown attacker {self.attacker!r}; "
@@ -231,12 +295,47 @@ class Scenario:
                 raise ValueError("spatial nulling needs at least two antennas")
             if self.packet_bits < 8:
                 raise ValueError("packet_bits must be at least 8")
+        if self.kind == "fleet":
+            # Deferred import, as for physio: the fleet package is a
+            # leaf and the spec module must not pull experiments in.
+            from repro.fleet.cohort import FLEET_TASKS, validate_cohort_fields
+
+            if self.fleet_task not in FLEET_TASKS:
+                raise ValueError(
+                    f"unknown fleet task {self.fleet_task!r}; "
+                    f"expected one of {FLEET_TASKS}"
+                )
+            if self.packets_per_record < 1:
+                raise ValueError(
+                    f"packets_per_record must be positive, "
+                    f"got {self.packets_per_record}"
+                )
+            validate_cohort_fields(
+                n_patients=self.n_patients,
+                rhythm_prevalence=self.rhythm_prevalence,
+                location_indices=self.location_indices,
+                location_weights=self.location_weights,
+                shield_worn_fraction=self.shield_worn_fraction,
+                jam_margin_mean_db=self.jam_margin_mean_db,
+                jam_margin_std_db=self.jam_margin_std_db,
+                p_thresh_std_db=self.p_thresh_std_db,
+                cancellation_std_db=self.cancellation_std_db,
+                observation_days=self.observation_days,
+            )
 
     # -- identity -------------------------------------------------------
 
     def payload(self) -> dict:
-        """The canonical execution payload: what the content hash covers."""
-        out: dict = {"schema": SCHEMA_VERSION, "kind": self.kind}
+        """The canonical execution payload: what the content hash covers.
+
+        The schema field is *per kind* (the version at which this
+        kind's semantics last changed), so introducing a new kind never
+        orphans the cached results of the existing ones.
+        """
+        out: dict = {
+            "schema": _KIND_SCHEMA_VERSION[self.kind],
+            "kind": self.kind,
+        }
         for name in _PAYLOAD_FIELDS[self.kind]:
             value = getattr(self, name)
             out[name] = list(value) if isinstance(value, tuple) else value
@@ -250,9 +349,16 @@ class Scenario:
     # -- derived views --------------------------------------------------
 
     def axis_values(self) -> tuple:
-        """The grid axis this scenario sweeps (locations or separations)."""
+        """The grid axis this scenario sweeps (locations or separations).
+
+        A fleet scenario has one grid cell -- the population itself;
+        its per-patient variation lives inside the cohort, not on a
+        sweep axis.
+        """
         if self.kind == "mimo":
             return self.separations_m
+        if self.kind == "fleet":
+            return ("population",)
         return self.location_indices
 
     def grid_size(self) -> int:
@@ -310,6 +416,17 @@ class Scenario:
                 f"{self.rhythm} cardiac telemetry, {condition}, "
                 f"{len(self.location_indices)} locations x "
                 f"{self.n_trials} records"
+            )
+        if self.kind == "fleet":
+            encounter = (
+                "attack encounters"
+                if self.fleet_task == "attack"
+                else "telemetry records"
+            )
+            return (
+                f"{self.n_patients}-patient cohort "
+                f"({self.shield_worn_fraction:.0%} shield-worn) x "
+                f"{self.n_trials} {encounter}"
             )
         return (
             f"{self.n_antennas}-antenna eavesdropper, "

@@ -1,0 +1,529 @@
+"""Pluggable result stores behind the campaign cache.
+
+:class:`~repro.campaigns.cache.ResultCache` used to *be* the
+one-file-per-unit filesystem layout; population-scale fleet campaigns
+(10^5-10^6 work units) turn that layout into a directory of a million
+tiny JSON files, where every metadata operation -- membership checks,
+pruning, even ``ls`` -- collapses.  This module extracts the storage
+contract into a :class:`ResultStore` protocol with two interchangeable
+backends:
+
+:class:`FilesystemStore`
+    The historical layout, byte-identical on disk to what every
+    previous release wrote: one directory per scenario content hash,
+    one ``<unit_hash>.json`` per completed unit, a ``scenario.json``
+    manifest, atomic temp-file + ``os.replace`` writes.
+:class:`SQLiteStore`
+    A single ``results.sqlite`` file per cache root: WAL journaling so
+    readers never block the writer, one atomic upsert per completed
+    unit, and one indexed query for any membership/stats question.
+    This is the backend fleet campaigns default to recommending.
+
+Both backends answer the same five questions -- get, put, membership,
+stats, prune -- and both are safe against mid-write kills: the
+filesystem store by atomic rename, the SQLite store by transactional
+journaling.  Selection happens per :class:`ResultCache` via the
+``backend=`` argument, the ``--cache-backend`` CLI flag, or the
+``REPRO_CACHE_BACKEND`` environment variable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Protocol, runtime_checkable
+
+__all__ = [
+    "BACKENDS",
+    "CACHE_BACKEND_ENV",
+    "CacheStats",
+    "FilesystemStore",
+    "ResultStore",
+    "ScenarioStats",
+    "SQLiteStore",
+    "make_store",
+    "resolve_backend",
+]
+
+#: Environment variable selecting the cache backend.
+CACHE_BACKEND_ENV = "REPRO_CACHE_BACKEND"
+
+#: Recognized backend names.
+BACKENDS = ("filesystem", "sqlite")
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Which store backend to use.
+
+    Explicit ``backend`` wins; otherwise ``REPRO_CACHE_BACKEND`` from
+    the environment; otherwise the filesystem layout (the historical
+    default -- existing caches keep working untouched).
+    """
+    if backend is None:
+        raw = os.environ.get(CACHE_BACKEND_ENV, "").strip()
+        if not raw:
+            return "filesystem"
+        backend = raw
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown cache backend {backend!r}; expected one of {BACKENDS} "
+            f"(set via backend=, --cache-backend, or {CACHE_BACKEND_ENV})"
+        )
+    return backend
+
+
+@dataclass(frozen=True)
+class ScenarioStats:
+    """Cache usage of one scenario namespace."""
+
+    scenario_hash: str
+    name: str  # "" when the namespace carries no readable manifest
+    entries: int
+    bytes: int
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Aggregate cache usage of one store."""
+
+    backend: str
+    location: str
+    entries: int
+    bytes: int
+    scenarios: tuple[ScenarioStats, ...]
+
+
+@runtime_checkable
+class ResultStore(Protocol):
+    """What a campaign cache backend must answer.
+
+    Keys are pure content addresses (scenario hash, unit hash); values
+    are the JSON-serializable per-unit result dicts the runners reduce.
+    Every method must be safe against a concurrent reader and against
+    the process dying mid-call -- a partial write can never surface as
+    a corrupt entry, only as an absent one.
+    """
+
+    def get(self, scenario_hash: str, key: str) -> dict | None:
+        """The stored result of one unit, or None if absent/unreadable."""
+        ...
+
+    def put(
+        self,
+        scenario_hash: str,
+        key: str,
+        coords: dict,
+        result: dict,
+        manifest: dict | None = None,
+    ) -> None:
+        """Persist one completed unit atomically (upsert semantics)."""
+        ...
+
+    def cached_keys(self, scenario_hash: str, keys: Iterable[str]) -> set[str]:
+        """Which of ``keys`` the store already holds.
+
+        Implementations must answer from one membership query per call
+        (a directory listing, an indexed SELECT) -- never one metadata
+        operation per key, which is what made status checks on large
+        campaigns quadratic-feeling.
+        """
+        ...
+
+    def stats(self) -> CacheStats:
+        """Entries, bytes, and per-scenario counts for ``repro cache stats``."""
+        ...
+
+    def namespace_names(self) -> dict[str, str]:
+        """Scenario hash -> manifest name for every namespace held.
+
+        The cheap lookup ``cache prune --scenario`` needs: reads only
+        the manifests (one file per namespace / one table scan), never
+        the unit entries -- :meth:`stats` at fleet unit counts would
+        stat the world just to resolve a name.
+        """
+        ...
+
+    def prune(self, scenario_hashes: Iterable[str] | None = None) -> int:
+        """Drop whole scenario namespaces (``None`` = everything).
+
+        Returns how many unit entries were removed.
+        """
+        ...
+
+
+# ----------------------------------------------------------------------
+# Filesystem backend (the historical on-disk layout, byte-identical)
+# ----------------------------------------------------------------------
+
+
+class FilesystemStore:
+    """One directory per scenario hash, one JSON file per unit."""
+
+    backend = "filesystem"
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+
+    # -- paths ----------------------------------------------------------
+
+    def scenario_dir(self, scenario_hash: str) -> Path:
+        return self.root / scenario_hash
+
+    def _unit_path(self, scenario_hash: str, key: str) -> Path:
+        return self.scenario_dir(scenario_hash) / f"{key}.json"
+
+    # -- protocol -------------------------------------------------------
+
+    def get(self, scenario_hash: str, key: str) -> dict | None:
+        path = self._unit_path(scenario_hash, key)
+        try:
+            payload = json.loads(path.read_text())
+        # ValueError covers JSONDecodeError and UnicodeDecodeError alike:
+        # any unreadable entry (truncated write, disk corruption, stray
+        # binary) must look absent, never crash the resume.
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or "result" not in payload:
+            return None
+        return payload["result"]
+
+    def put(
+        self,
+        scenario_hash: str,
+        key: str,
+        coords: dict,
+        result: dict,
+        manifest: dict | None = None,
+    ) -> None:
+        directory = self.scenario_dir(scenario_hash)
+        directory.mkdir(parents=True, exist_ok=True)
+        if manifest is not None:
+            self._write_manifest(directory, manifest)
+        payload = {"coords": coords, "result": result}
+        path = self._unit_path(scenario_hash, key)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1) + "\n")
+        os.replace(tmp, path)
+
+    def cached_keys(self, scenario_hash: str, keys: Iterable[str]) -> set[str]:
+        """Membership from ONE directory listing, not a stat per key.
+
+        A million-unit campaign's status check must not issue a million
+        ``Path.exists`` calls; a single ``scandir`` of the scenario
+        namespace answers every key at once.  Present-but-corrupt
+        entries (possible only from external tampering -- writes are
+        atomic) are reported as cached here and recomputed lazily when
+        :meth:`get` actually reads them.
+        """
+        try:
+            with os.scandir(self.scenario_dir(scenario_hash)) as entries:
+                present = {entry.name for entry in entries}
+        except OSError:
+            return set()
+        return {key for key in keys if f"{key}.json" in present}
+
+    def stats(self) -> CacheStats:
+        scenarios: list[ScenarioStats] = []
+        total_entries = 0
+        total_bytes = 0
+        if self.root.is_dir():
+            for scenario_dir in sorted(self.root.iterdir()):
+                if not scenario_dir.is_dir():
+                    continue
+                name = ""
+                entries = 0
+                n_bytes = 0
+                for path in scenario_dir.iterdir():
+                    try:
+                        size = path.stat().st_size
+                    except OSError:
+                        continue
+                    n_bytes += size
+                    if path.name == "scenario.json":
+                        name = self._manifest_name(path)
+                    elif path.suffix == ".json":
+                        entries += 1
+                scenarios.append(
+                    ScenarioStats(scenario_dir.name, name, entries, n_bytes)
+                )
+                total_entries += entries
+                total_bytes += n_bytes
+        return CacheStats(
+            backend=self.backend,
+            location=str(self.root),
+            entries=total_entries,
+            bytes=total_bytes,
+            scenarios=tuple(scenarios),
+        )
+
+    def namespace_names(self) -> dict[str, str]:
+        names: dict[str, str] = {}
+        if self.root.is_dir():
+            for scenario_dir in self.root.iterdir():
+                if scenario_dir.is_dir():
+                    names[scenario_dir.name] = self._manifest_name(
+                        scenario_dir / "scenario.json"
+                    )
+        return names
+
+    def prune(self, scenario_hashes: Iterable[str] | None = None) -> int:
+        import shutil
+
+        if scenario_hashes is None:
+            if not self.root.is_dir():
+                return 0
+            scenario_hashes = [
+                p.name for p in self.root.iterdir() if p.is_dir()
+            ]
+        removed = 0
+        for scenario_hash in scenario_hashes:
+            directory = self.scenario_dir(scenario_hash)
+            if not directory.is_dir():
+                continue
+            removed += sum(
+                1
+                for p in directory.iterdir()
+                if p.suffix == ".json" and p.name != "scenario.json"
+            )
+            shutil.rmtree(directory)
+        return removed
+
+    # -- helpers --------------------------------------------------------
+
+    @staticmethod
+    def _manifest_name(path: Path) -> str:
+        try:
+            body = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return ""
+        name = body.get("name", "") if isinstance(body, dict) else ""
+        return name if isinstance(name, str) else ""
+
+    def _write_manifest(self, directory: Path, manifest: dict) -> None:
+        """A human-readable record of what this namespace holds."""
+        target = directory / "scenario.json"
+        if target.exists():
+            return
+        tmp = target.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(manifest, sort_keys=True, indent=1) + "\n")
+        os.replace(tmp, target)
+
+
+# ----------------------------------------------------------------------
+# SQLite backend (one file, WAL, atomic upserts)
+# ----------------------------------------------------------------------
+
+
+class SQLiteStore:
+    """All unit results of one cache root in a single SQLite file.
+
+    Designed for the fleet workloads: 10^5-10^6 unit upserts into one
+    WAL-journaled file beat a million-file directory on every axis that
+    matters here (put throughput, membership queries, prune, backup).
+    The schema is two tables -- ``units`` keyed by (scenario hash, unit
+    key) and ``scenarios`` holding the human-readable manifests -- and
+    every write is one transaction, so a SIGKILL mid-run loses at most
+    the in-flight unit, exactly like the filesystem backend's atomic
+    rename.
+    """
+
+    backend = "sqlite"
+
+    #: File name inside the cache root (shares the root with any
+    #: filesystem-backend namespaces without colliding).
+    FILENAME = "results.sqlite"
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+        self.path = self.root / self.FILENAME
+        self._conn: sqlite3.Connection | None = None
+
+    # -- connection -----------------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        if self._conn is None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(self.path, timeout=30.0)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS units ("
+                " scenario_hash TEXT NOT NULL,"
+                " unit_key TEXT NOT NULL,"
+                " coords TEXT NOT NULL,"
+                " result TEXT NOT NULL,"
+                " PRIMARY KEY (scenario_hash, unit_key))"
+            )
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS scenarios ("
+                " scenario_hash TEXT PRIMARY KEY,"
+                " manifest TEXT NOT NULL)"
+            )
+            conn.commit()
+            self._conn = conn
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    # -- protocol -------------------------------------------------------
+
+    def get(self, scenario_hash: str, key: str) -> dict | None:
+        # Reads never create the database (a status query on a fresh
+        # root must not leave results.sqlite + WAL files behind, and
+        # must work under a read-only parent); OSError covers the
+        # mkdir/open failures sqlite3.Error does not.
+        if self._conn is None and not self.path.exists():
+            return None
+        try:
+            row = self._connect().execute(
+                "SELECT result FROM units"
+                " WHERE scenario_hash = ? AND unit_key = ?",
+                (scenario_hash, key),
+            ).fetchone()
+        except (sqlite3.Error, OSError):
+            return None
+        if row is None:
+            return None
+        try:
+            result = json.loads(row[0])
+        except ValueError:
+            return None
+        return result if isinstance(result, dict) else None
+
+    def put(
+        self,
+        scenario_hash: str,
+        key: str,
+        coords: dict,
+        result: dict,
+        manifest: dict | None = None,
+    ) -> None:
+        conn = self._connect()
+        with conn:  # one transaction: the upsert is atomic
+            if manifest is not None:
+                conn.execute(
+                    "INSERT OR IGNORE INTO scenarios"
+                    " (scenario_hash, manifest) VALUES (?, ?)",
+                    (scenario_hash, json.dumps(manifest, sort_keys=True)),
+                )
+            conn.execute(
+                "INSERT INTO units (scenario_hash, unit_key, coords, result)"
+                " VALUES (?, ?, ?, ?)"
+                " ON CONFLICT (scenario_hash, unit_key)"
+                " DO UPDATE SET coords = excluded.coords,"
+                "               result = excluded.result",
+                (
+                    scenario_hash,
+                    key,
+                    json.dumps(coords, sort_keys=True),
+                    json.dumps(result, sort_keys=True),
+                ),
+            )
+
+    def cached_keys(self, scenario_hash: str, keys: Iterable[str]) -> set[str]:
+        if self._conn is None and not self.path.exists():
+            return set()
+        try:
+            rows = self._connect().execute(
+                "SELECT unit_key FROM units WHERE scenario_hash = ?",
+                (scenario_hash,),
+            ).fetchall()
+        except (sqlite3.Error, OSError):
+            return set()
+        present = {row[0] for row in rows}
+        return {key for key in keys if key in present}
+
+    def stats(self) -> CacheStats:
+        scenarios: list[ScenarioStats] = []
+        total_entries = 0
+        total_bytes = 0
+        if self.path.exists():
+            conn = self._connect()
+            names = self.namespace_names()
+            for scenario_hash, entries, n_bytes in conn.execute(
+                "SELECT scenario_hash, COUNT(*),"
+                " COALESCE(SUM(LENGTH(result) + LENGTH(coords)), 0)"
+                " FROM units GROUP BY scenario_hash ORDER BY scenario_hash"
+            ):
+                scenarios.append(
+                    ScenarioStats(
+                        scenario_hash,
+                        names.get(scenario_hash, ""),
+                        int(entries),
+                        int(n_bytes),
+                    )
+                )
+                total_entries += int(entries)
+                total_bytes += int(n_bytes)
+        return CacheStats(
+            backend=self.backend,
+            location=str(self.path),
+            entries=total_entries,
+            bytes=total_bytes,
+            scenarios=tuple(scenarios),
+        )
+
+    def namespace_names(self) -> dict[str, str]:
+        if self._conn is None and not self.path.exists():
+            return {}
+        names: dict[str, str] = {}
+        try:
+            rows = self._connect().execute(
+                "SELECT scenario_hash, manifest FROM scenarios"
+            ).fetchall()
+        except (sqlite3.Error, OSError):
+            return {}
+        for scenario_hash, manifest in rows:
+            try:
+                body = json.loads(manifest)
+            except ValueError:
+                body = {}
+            name = body.get("name", "") if isinstance(body, dict) else ""
+            names[scenario_hash] = name if isinstance(name, str) else ""
+        return names
+
+    def prune(self, scenario_hashes: Iterable[str] | None = None) -> int:
+        if not self.path.exists():
+            return 0
+        conn = self._connect()
+        with conn:
+            if scenario_hashes is None:
+                removed = int(
+                    conn.execute("SELECT COUNT(*) FROM units").fetchone()[0]
+                )
+                conn.execute("DELETE FROM units")
+                conn.execute("DELETE FROM scenarios")
+            else:
+                removed = 0
+                for scenario_hash in scenario_hashes:
+                    cur = conn.execute(
+                        "DELETE FROM units WHERE scenario_hash = ?",
+                        (scenario_hash,),
+                    )
+                    removed += cur.rowcount
+                    conn.execute(
+                        "DELETE FROM scenarios WHERE scenario_hash = ?",
+                        (scenario_hash,),
+                    )
+        # DELETE alone leaves the file (and the WAL, which holds the
+        # unmerged pages until a checkpoint) at full size; the verb
+        # exists to reclaim disk, so rewrite the database and truncate
+        # the log.  (VACUUM cannot run inside the transaction above.)
+        if removed:
+            conn.execute("VACUUM")
+            conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        return removed
+
+
+def make_store(root: Path | str, backend: str | None = None) -> ResultStore:
+    """Construct the store for a cache root (see :func:`resolve_backend`)."""
+    resolved = resolve_backend(backend)
+    if resolved == "sqlite":
+        return SQLiteStore(root)
+    return FilesystemStore(root)

@@ -17,6 +17,7 @@ the Fig. 11/12/13 and Table 1/2 benchmarks iterate.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
@@ -228,6 +229,7 @@ class AttackTestbed:
         seed: int | np.random.SeedSequence = 0,
         antenna_gain_dbi: float | None = None,
         observer_enabled: bool = True,
+        shield_config: ShieldConfig | None = None,
     ):
         geometry = geometry or TestbedGeometry()
         self.location = geometry.location(location_index)
@@ -274,8 +276,19 @@ class AttackTestbed:
 
         self.shield: ShieldRadio | None = None
         if shield_present:
-            config = ShieldConfig(
-                passive_jam_tx_dbm=self.budget.passive_jam_tx_dbm(),
+            # ``shield_config`` lets callers vary the per-device
+            # calibration (P_thresh spread, cancellation spread, the
+            # passive jam margin -- the fleet cohorts); the absolute
+            # jam power and the codec-derived detection window always
+            # come from the testbed itself, because they are properties
+            # of this geometry and frame layout -- only the config's
+            # *margin* over the received IMD power is the device's own.
+            base = shield_config or ShieldConfig()
+            config = dataclasses.replace(
+                base,
+                passive_jam_tx_dbm=self.budget.passive_jam_tx_dbm(
+                    base.passive_jam_margin_db
+                ),
                 detection_window_bits=self.codec.header_bit_count(),
             )
             detector = ActiveDetector(

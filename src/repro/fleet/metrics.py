@@ -1,0 +1,426 @@
+"""Mergeable streaming population metrics for fleet campaigns.
+
+A population run must never hold a per-patient result list: a
+10^5-patient cohort's working set has to be bounded by the shard size,
+not the cohort size.  Everything here is therefore a *mergeable
+streaming estimator* -- a fixed-size sufficient statistic that absorbs
+one patient at a time and merges with any other shard's statistic in
+any order to exactly the numbers a single serial pass would produce:
+
+* attack prevalence (patients with >= 1 successful attack) and shield
+  adherence ride on integer counts
+  (:class:`~repro.stats.estimator.SequentialEstimator` views);
+* alarm burden (alarms per patient-day) and mean BER ride on
+  ``(count, total, sq_total)`` moments
+  (:class:`~repro.stats.estimator.MeanEstimator` views);
+* per-patient HR-leakage *quantiles* ride on a fixed-bin
+  :class:`QuantileSketch` -- unlike a mean, a quantile has no exact
+  finite sufficient statistic, so the sketch trades a bounded, known
+  resolution (bin width) for mergeability.  Bin layout is part of the
+  fleet schema: every shard uses the same bins, so merges are exact
+  (bin counts add) and deterministic across any shard layout.
+* BER strata (clean / degraded / jammed patient counts) are plain
+  categorical tallies.
+
+:class:`FleetAccumulator` bundles all of these as the per-shard work
+unit result: it serializes to a JSON-safe payload (what the campaign
+cache stores) and reduces by :meth:`FleetAccumulator.merge`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.stats.estimator import MeanEstimator, SequentialEstimator
+from repro.stats.intervals import normal_quantile
+
+__all__ = [
+    "BER_STRATA",
+    "FleetAccumulator",
+    "FleetQuantileEstimator",
+    "QuantileSketch",
+]
+
+#: Per-patient mean-BER strata: below 0.1 the telemetry content is
+#: essentially clear ("clean"), above 0.4 the link is
+#: indistinguishable from coin flips ("jammed"), in between the
+#: content degrades with distance ("degraded").  The thresholds mirror
+#: the passive-BER figure's reading of the testbed.
+BER_STRATA = (("clean", 0.1), ("degraded", 0.4), ("jammed", math.inf))
+
+#: Default HR-leakage sketch layout: 0..200 BPM of absolute error at
+#: 0.25 BPM resolution.  Part of the fleet result schema -- all shards
+#: of a campaign must share one layout or merges are rejected.
+_HR_SKETCH_LO = 0.0
+_HR_SKETCH_HI = 200.0
+_HR_SKETCH_BINS = 800
+
+
+@dataclass
+class QuantileSketch:
+    """Mergeable fixed-bin quantile sketch.
+
+    Values are tallied into ``n_bins`` equal-width bins spanning
+    ``[lo, hi]``; values outside the span clip into the terminal bins
+    (the tail *count* stays exact, only its position saturates).
+    Quantile queries interpolate linearly inside the covering bin, so
+    the answer is within one bin width of the exact sample quantile --
+    a fixed, known resolution, which is the price of exact mergeability
+    (P^2-style adaptive estimators merge only approximately and
+    order-dependently, which would break the serial == parallel
+    contract).
+    """
+
+    lo: float
+    hi: float
+    n_bins: int
+    counts: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if not self.lo < self.hi:
+            raise ValueError(f"need lo < hi, got [{self.lo}, {self.hi}]")
+        if self.n_bins < 1:
+            raise ValueError(f"n_bins must be positive, got {self.n_bins}")
+        if self.counts is None:
+            self.counts = np.zeros(self.n_bins, dtype=np.int64)
+        else:
+            self.counts = np.asarray(self.counts, dtype=np.int64)
+            if self.counts.shape != (self.n_bins,):
+                raise ValueError(
+                    f"counts must have shape ({self.n_bins},), "
+                    f"got {self.counts.shape}"
+                )
+            if np.any(self.counts < 0):
+                raise ValueError("bin counts cannot be negative")
+
+    # -- accumulation ---------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return int(self.counts.sum())
+
+    def add(self, value: float) -> "QuantileSketch":
+        return self.add_many(np.asarray([value], dtype=float))
+
+    def add_many(self, values) -> "QuantileSketch":
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            return self
+        if not np.all(np.isfinite(values)):
+            raise ValueError("sketch values must be finite")
+        width = (self.hi - self.lo) / self.n_bins
+        bins = np.clip(
+            ((values - self.lo) / width).astype(np.int64), 0, self.n_bins - 1
+        )
+        np.add.at(self.counts, bins, 1)
+        return self
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        if (other.lo, other.hi, other.n_bins) != (self.lo, self.hi, self.n_bins):
+            raise ValueError(
+                f"cannot merge sketches with different bin layouts: "
+                f"[{self.lo}, {self.hi}]x{self.n_bins} vs "
+                f"[{other.lo}, {other.hi}]x{other.n_bins}"
+            )
+        self.counts += other.counts
+        return self
+
+    # -- queries --------------------------------------------------------
+
+    def _value_at_rank(self, rank: float) -> float:
+        """The value whose CDF rank is ``rank`` (in [0, count])."""
+        total = self.count
+        if total == 0:
+            raise ValueError("no samples in the sketch yet")
+        rank = min(max(rank, 0.0), float(total))
+        width = (self.hi - self.lo) / self.n_bins
+        cumulative = 0
+        for index in range(self.n_bins):
+            bin_count = int(self.counts[index])
+            if bin_count == 0:
+                continue
+            if cumulative + bin_count >= rank:
+                fraction = (rank - cumulative) / bin_count
+                return self.lo + (index + fraction) * width
+            cumulative += bin_count
+        return self.hi
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (linear interpolation inside the bin)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must lie in [0, 1], got {q}")
+        return self._value_at_rank(q * self.count)
+
+    def quantile_interval(
+        self, q: float, confidence: float = 0.95
+    ) -> tuple[float, float]:
+        """Distribution-free CI on the ``q``-quantile.
+
+        Binomial order-statistic bounds: the rank of the true
+        ``q``-quantile in an n-sample is Binomial(n, q), so the ranks
+        ``n q -/+ z sqrt(n q (1-q))`` bracket it at the requested
+        confidence; the sketch inverts those ranks to values.  No
+        distributional assumption about the leakage values themselves.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must lie in [0, 1], got {q}")
+        n = self.count
+        if n == 0:
+            raise ValueError("no samples in the sketch yet")
+        z = normal_quantile(confidence)
+        half = z * math.sqrt(n * q * (1.0 - q))
+        low = self._value_at_rank(math.floor(n * q - half))
+        high = self._value_at_rank(math.ceil(n * q + half))
+        return low, high
+
+    # -- serialization --------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """JSON-safe form (sparse: most bins of a cohort are empty)."""
+        nonzero = np.nonzero(self.counts)[0]
+        return {
+            "lo": self.lo,
+            "hi": self.hi,
+            "n_bins": self.n_bins,
+            "bins": [int(b) for b in nonzero],
+            "bin_counts": [int(self.counts[b]) for b in nonzero],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "QuantileSketch":
+        n_bins = int(payload["n_bins"])
+        bins = np.asarray(payload["bins"], dtype=np.int64)
+        counts = np.asarray(payload["bin_counts"], dtype=np.int64)
+        if bins.shape != counts.shape:
+            raise ValueError("sketch payload bins/bin_counts mismatch")
+        full = np.zeros(n_bins, dtype=np.int64)
+        if bins.size:
+            if bins.min() < 0 or bins.max() >= n_bins:
+                raise ValueError("sketch payload names out-of-range bins")
+            full[bins] = counts
+        # Dense counts go through the constructor so its validation
+        # (shape, non-negativity) applies to cache payloads too -- a
+        # tampered entry must be rejected, never silently merged.
+        return cls(
+            lo=float(payload["lo"]),
+            hi=float(payload["hi"]),
+            n_bins=n_bins,
+            counts=full,
+        )
+
+
+@dataclass
+class FleetQuantileEstimator:
+    """An expectation-evaluable view of one sketch quantile.
+
+    Duck-types the estimator protocol golden-figure evaluation uses
+    (``count`` / ``estimate`` / ``interval``), so population quantile
+    claims ("median HR leakage stays above 25 BPM") judge through
+    exactly the machinery every other metric uses.
+    """
+
+    sketch: QuantileSketch
+    q: float
+
+    @property
+    def count(self) -> int:
+        return self.sketch.count
+
+    @property
+    def estimate(self) -> float:
+        return self.sketch.quantile(self.q)
+
+    def interval(self, confidence: float = 0.95) -> tuple[float, float]:
+        return self.sketch.quantile_interval(self.q, confidence)
+
+
+def _hr_sketch() -> QuantileSketch:
+    return QuantileSketch(_HR_SKETCH_LO, _HR_SKETCH_HI, _HR_SKETCH_BINS)
+
+
+@dataclass
+class FleetAccumulator:
+    """Per-shard (and population) streaming reduction of patient outcomes.
+
+    One instance per work unit absorbs that shard's patients; the
+    campaign reduction merges shard payloads in plan order.  Every
+    field is a fixed-size sufficient statistic -- nothing here grows
+    with the number of patients.
+    """
+
+    patients: int = 0
+    shield_worn: int = 0
+
+    # Attack task -------------------------------------------------------
+    attack_patients: int = 0
+    patients_compromised: int = 0
+    wins_total: int = 0
+    alarms_total: int = 0
+    trials_total: int = 0
+    patient_days: float = 0.0
+    #: Per-patient alarms-per-day moments (mean + CI of the burden).
+    alarm_rate_sum: float = 0.0
+    alarm_rate_sqsum: float = 0.0
+
+    # Physio task -------------------------------------------------------
+    hr_sketch: QuantileSketch = field(default_factory=_hr_sketch)
+    hr_err_sum: float = 0.0
+    hr_err_sqsum: float = 0.0
+    ber_sum: float = 0.0
+    ber_sqsum: float = 0.0
+    physio_patients: int = 0
+    strata: dict = field(
+        default_factory=lambda: {name: 0 for name, _ in BER_STRATA}
+    )
+
+    # -- absorption -----------------------------------------------------
+
+    def add_attack_patient(
+        self,
+        worn: bool,
+        wins: int,
+        alarms: int,
+        trials: int,
+        observation_days: float,
+    ) -> None:
+        """Fold one patient's attack encounter in."""
+        if trials < 1:
+            raise ValueError("an attack patient needs at least one trial")
+        if observation_days <= 0:
+            raise ValueError("observation_days must be positive")
+        self.patients += 1
+        self.shield_worn += int(worn)
+        self.attack_patients += 1
+        self.patients_compromised += int(wins > 0)
+        self.wins_total += wins
+        self.alarms_total += alarms
+        self.trials_total += trials
+        self.patient_days += observation_days
+        rate = alarms / observation_days
+        self.alarm_rate_sum += rate
+        self.alarm_rate_sqsum += rate * rate
+
+    def add_physio_patient(
+        self, worn: bool, hr_abs_error: float, mean_ber: float
+    ) -> None:
+        """Fold one patient's telemetry-privacy encounter in."""
+        self.patients += 1
+        self.shield_worn += int(worn)
+        self.physio_patients += 1
+        self.hr_sketch.add(hr_abs_error)
+        self.hr_err_sum += hr_abs_error
+        self.hr_err_sqsum += hr_abs_error * hr_abs_error
+        self.ber_sum += mean_ber
+        self.ber_sqsum += mean_ber * mean_ber
+        for name, upper in BER_STRATA:
+            if mean_ber < upper:
+                self.strata[name] += 1
+                break
+
+    def merge(self, other: "FleetAccumulator") -> "FleetAccumulator":
+        """Fold another shard in (order-independent, exact)."""
+        self.patients += other.patients
+        self.shield_worn += other.shield_worn
+        self.attack_patients += other.attack_patients
+        self.patients_compromised += other.patients_compromised
+        self.wins_total += other.wins_total
+        self.alarms_total += other.alarms_total
+        self.trials_total += other.trials_total
+        self.patient_days += other.patient_days
+        self.alarm_rate_sum += other.alarm_rate_sum
+        self.alarm_rate_sqsum += other.alarm_rate_sqsum
+        self.hr_sketch.merge(other.hr_sketch)
+        self.hr_err_sum += other.hr_err_sum
+        self.hr_err_sqsum += other.hr_err_sqsum
+        self.ber_sum += other.ber_sum
+        self.ber_sqsum += other.ber_sqsum
+        self.physio_patients += other.physio_patients
+        for name in self.strata:
+            self.strata[name] += other.strata.get(name, 0)
+        return self
+
+    # -- estimator views ------------------------------------------------
+
+    def prevalence_estimator(self) -> SequentialEstimator:
+        """Fraction of attack-task patients with any successful attack.
+
+        Denominated in ``attack_patients``, not ``patients``: an
+        accumulator that also absorbed physio encounters must not
+        dilute the prevalence with patients who were never attacked.
+        """
+        return SequentialEstimator(
+            self.patients_compromised, self.attack_patients
+        )
+
+    def alarm_rate_estimator(self) -> MeanEstimator:
+        """Mean per-patient alarms per patient-day (attack patients)."""
+        return MeanEstimator(
+            self.attack_patients,
+            self.alarm_rate_sum,
+            self.alarm_rate_sqsum,
+            bounds=(0.0, float("inf")),
+        )
+
+    def hr_quantile_estimator(self, q: float) -> FleetQuantileEstimator:
+        """One quantile of the per-patient HR-leakage distribution."""
+        return FleetQuantileEstimator(self.hr_sketch, q)
+
+    def mean_ber_estimator(self) -> MeanEstimator:
+        """Mean per-patient eavesdropper BER."""
+        return MeanEstimator(
+            self.physio_patients,
+            self.ber_sum,
+            self.ber_sqsum,
+            bounds=(0.0, 1.0),
+        )
+
+    # -- serialization --------------------------------------------------
+
+    def to_payload(self) -> dict:
+        return {
+            "patients": self.patients,
+            "shield_worn": self.shield_worn,
+            "attack_patients": self.attack_patients,
+            "patients_compromised": self.patients_compromised,
+            "wins_total": self.wins_total,
+            "alarms_total": self.alarms_total,
+            "trials_total": self.trials_total,
+            "patient_days": self.patient_days,
+            "alarm_rate_sum": self.alarm_rate_sum,
+            "alarm_rate_sqsum": self.alarm_rate_sqsum,
+            "hr_sketch": self.hr_sketch.to_payload(),
+            "hr_err_sum": self.hr_err_sum,
+            "hr_err_sqsum": self.hr_err_sqsum,
+            "ber_sum": self.ber_sum,
+            "ber_sqsum": self.ber_sqsum,
+            "physio_patients": self.physio_patients,
+            "strata": dict(self.strata),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "FleetAccumulator":
+        acc = cls(
+            patients=int(payload["patients"]),
+            shield_worn=int(payload["shield_worn"]),
+            attack_patients=int(payload["attack_patients"]),
+            patients_compromised=int(payload["patients_compromised"]),
+            wins_total=int(payload["wins_total"]),
+            alarms_total=int(payload["alarms_total"]),
+            trials_total=int(payload["trials_total"]),
+            patient_days=float(payload["patient_days"]),
+            alarm_rate_sum=float(payload["alarm_rate_sum"]),
+            alarm_rate_sqsum=float(payload["alarm_rate_sqsum"]),
+            hr_sketch=QuantileSketch.from_payload(payload["hr_sketch"]),
+            hr_err_sum=float(payload["hr_err_sum"]),
+            hr_err_sqsum=float(payload["hr_err_sqsum"]),
+            ber_sum=float(payload["ber_sum"]),
+            ber_sqsum=float(payload["ber_sqsum"]),
+            physio_patients=int(payload["physio_patients"]),
+        )
+        strata = payload.get("strata", {})
+        for name in acc.strata:
+            acc.strata[name] = int(strata.get(name, 0))
+        return acc

@@ -70,6 +70,18 @@ def scenario_metrics(kind: str) -> tuple[str, ...]:
             "rhythm_accuracy",
             "waveform_nrmse",
         )
+    if kind == "fleet":
+        # The union over fleet tasks; a given scenario only populates
+        # its own task's estimators, and expectation evaluation judges
+        # a metric with zero samples inconclusive, never passing.
+        return (
+            "attack_prevalence",
+            "alarm_rate_per_day",
+            "hr_leak_median_bpm",
+            "hr_leak_p10_bpm",
+            "hr_leak_p90_bpm",
+            "mean_ber",
+        )
     return ("ber",)
 
 
@@ -82,10 +94,13 @@ _METRIC_BOUNDS: dict[str, tuple[float, float] | None] = {
     "hr_abs_error_clear": (0.0, float("inf")),
     "hr_error_vs_chance": None,
     "waveform_nrmse": (0.0, float("inf")),
+    "alarm_rate_per_day": (0.0, float("inf")),
+    "mean_ber": (0.0, 1.0),
 }
 
 _PROPORTION_METRICS = frozenset(
-    {"success_probability", "alarm_probability", "rhythm_accuracy"}
+    {"success_probability", "alarm_probability", "rhythm_accuracy",
+     "attack_prevalence"}
 )
 
 #: Physio mean-valued metric -> the reduced point's (sum, sum-of-squares)
@@ -101,16 +116,33 @@ PHYSIO_MOMENT_KEYS: dict[str, tuple[str, str]] = {
 }
 
 
+#: Fleet population quantiles: not constructible as fresh accumulating
+#: estimators -- they are views over a merged
+#: :class:`~repro.fleet.metrics.QuantileSketch`, built by
+#: ``cells_from_result`` from a reduced fleet point.
+_SKETCH_METRICS = frozenset(
+    {"hr_leak_median_bpm", "hr_leak_p10_bpm", "hr_leak_p90_bpm"}
+)
+
+
 def metric_estimator(metric: str) -> SequentialEstimator | MeanEstimator:
     """A fresh estimator of the right family for one metric.
 
-    Proportions (attack success, alarm rate, rhythm accuracy) get the
-    binomial :class:`SequentialEstimator`; everything else accumulates
-    streaming moments in a :class:`MeanEstimator` clipped to the
-    metric's physical range.
+    Proportions (attack success, alarm rate, rhythm accuracy, attack
+    prevalence) get the binomial :class:`SequentialEstimator`;
+    everything else accumulates streaming moments in a
+    :class:`MeanEstimator` clipped to the metric's physical range.
+    Fleet quantile metrics have no fresh-estimator form and are
+    rejected with a pointer to their sketch-backed construction.
     """
     if metric in _PROPORTION_METRICS:
         return SequentialEstimator()
+    if metric in _SKETCH_METRICS:
+        raise ValueError(
+            f"metric {metric!r} is a population quantile backed by a "
+            f"merged QuantileSketch; build it from a reduced fleet "
+            f"point via FleetAccumulator.hr_quantile_estimator"
+        )
     if metric not in _METRIC_BOUNDS:
         raise ValueError(f"unknown metric {metric!r}")
     return MeanEstimator(bounds=_METRIC_BOUNDS[metric])
@@ -283,18 +315,29 @@ class AdaptiveScheduler:
         cache_dir: Path | str | None = None,
         workers: int | None = None,
         persist: bool = True,
+        cache_backend: str | None = None,
     ):
         # Deferred import: repro.campaigns pulls its registry in, which
         # itself imports the expectation records from this package.
         from repro.campaigns.cache import ResultCache, default_cache_dir
         from repro.runtime import SweepExecutor
 
+        if scenario.kind == "fleet":
+            raise ValueError(
+                "fleet scenarios run fixed-budget only: population "
+                "quantile sketches have no per-round stopping statistic; "
+                "validate them without --adaptive (the CLI does this "
+                "automatically)"
+            )
         self.scenario = scenario
         self.policy = policy or AdaptivePolicy()
         self.executor = SweepExecutor(workers)
         self.persist = persist
         self.cache = (
-            ResultCache(cache_dir if cache_dir is not None else default_cache_dir())
+            ResultCache(
+                cache_dir if cache_dir is not None else default_cache_dir(),
+                backend=cache_backend,
+            )
             if persist
             else None
         )

@@ -77,6 +77,25 @@ def cells_from_result(result) -> list[CellStats]:
             estimators["rhythm_accuracy"] = SequentialEstimator(
                 point["rhythm_correct"], point["n_records"]
             )
+        elif result.scenario.kind == "fleet":
+            # Rebuild exact population estimators (counts, moments, the
+            # quantile sketch) from the merged accumulator the reduction
+            # stored with the point.
+            from repro.fleet.metrics import FleetAccumulator
+
+            acc = FleetAccumulator.from_payload(point["accumulator"])
+            # Only the metrics this cohort's task actually simulated: a
+            # physio cohort ran zero attack trials, and a zero-count
+            # prevalence estimator must stay absent (inconclusive), not
+            # read as a measured 0%.
+            if acc.trials_total:
+                estimators["attack_prevalence"] = acc.prevalence_estimator()
+                estimators["alarm_rate_per_day"] = acc.alarm_rate_estimator()
+            if acc.physio_patients:
+                estimators["hr_leak_median_bpm"] = acc.hr_quantile_estimator(0.5)
+                estimators["hr_leak_p10_bpm"] = acc.hr_quantile_estimator(0.1)
+                estimators["hr_leak_p90_bpm"] = acc.hr_quantile_estimator(0.9)
+                estimators["mean_ber"] = acc.mean_ber_estimator()
         else:
             estimators["ber"] = MeanEstimator(
                 point["n_packets"],
@@ -100,6 +119,12 @@ def tracked_metrics(scenario, expectations) -> dict[int, set[str]]:
         headline = "success_probability"
     elif scenario.kind == "physio":
         headline = "hr_abs_error"
+    elif scenario.kind == "fleet":
+        headline = (
+            "attack_prevalence"
+            if scenario.fleet_task == "attack"
+            else "hr_leak_median_bpm"
+        )
     else:
         headline = "ber"
     axes = scenario.axis_values()
@@ -189,6 +214,7 @@ def validate_scenario(
     workers: int | None = None,
     persist: bool = True,
     confidence: float | None = None,
+    cache_backend: str | None = None,
 ) -> ScenarioValidation:
     """Run (or re-read) one scenario and judge its expectations.
 
@@ -210,6 +236,11 @@ def validate_scenario(
             f"register some before validating against it"
         )
     method = policy.method if policy is not None else "jeffreys"
+    # A fleet cohort is one population draw; its quantile sketches have
+    # no per-round stopping statistic, so ``validate --adaptive`` runs
+    # it at the fixed budget instead of refusing the whole invocation.
+    if adaptive and scenario.kind == "fleet":
+        adaptive = False
     if adaptive:
         scheduler = AdaptiveScheduler(
             scenario,
@@ -218,6 +249,7 @@ def validate_scenario(
             cache_dir=cache_dir,
             workers=workers,
             persist=persist,
+            cache_backend=cache_backend,
         )
         run = scheduler.run()
         cells = run.cell_stats()
@@ -238,7 +270,11 @@ def validate_scenario(
             converged=run.converged,
         )
     runner = CampaignRunner(
-        scenario, cache_dir=cache_dir, workers=workers, persist=persist
+        scenario,
+        cache_dir=cache_dir,
+        workers=workers,
+        persist=persist,
+        cache_backend=cache_backend,
     )
     result = runner.run()
     cells = cells_from_result(result)
@@ -247,6 +283,8 @@ def validate_scenario(
         for e in expectations
     )
     trials = scenario.n_trials * scenario.grid_size()
+    if scenario.kind == "fleet":
+        trials = scenario.n_trials * scenario.n_patients
     return ScenarioValidation(
         scenario=scenario,
         outcomes=outcomes,

@@ -1,0 +1,460 @@
+"""Result-store backends: parity, atomicity, scaling, and the cache CLI.
+
+The two backends must be interchangeable behind ``ResultCache``: same
+answers, same resume behaviour, same stats/prune surface.  The scaling
+regression pins the membership-check contract -- one metadata query per
+scenario, never a stat per key.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.campaigns.cache import ResultCache
+from repro.campaigns.spec import Scenario
+from repro.campaigns.store import (
+    FilesystemStore,
+    SQLiteStore,
+    make_store,
+    resolve_backend,
+)
+
+
+def _scenario(**changes) -> Scenario:
+    base = dict(
+        name="store-test",
+        kind="attack",
+        location_indices=(1, 8),
+        n_trials=2,
+        seed=3,
+    )
+    base.update(changes)
+    return Scenario(**base)
+
+
+class TestBackendSelection:
+    def test_default_is_filesystem(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_BACKEND", raising=False)
+        assert resolve_backend() == "filesystem"
+
+    def test_env_selects_sqlite(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_BACKEND", "sqlite")
+        assert resolve_backend() == "sqlite"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_BACKEND", "sqlite")
+        assert resolve_backend("filesystem") == "filesystem"
+
+    def test_unknown_backend_names_the_knobs(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_BACKEND", raising=False)
+        with pytest.raises(ValueError, match="REPRO_CACHE_BACKEND"):
+            resolve_backend("mongodb")
+
+    def test_make_store_maps_names_to_classes(self, tmp_path):
+        assert isinstance(make_store(tmp_path, "filesystem"), FilesystemStore)
+        assert isinstance(make_store(tmp_path, "sqlite"), SQLiteStore)
+
+
+@pytest.mark.parametrize("backend", ["filesystem", "sqlite"])
+class TestBackendParity:
+    def test_round_trip(self, tmp_path, backend):
+        cache = ResultCache(tmp_path, backend=backend)
+        scenario = _scenario()
+        coords = {"kind": "attack", "location": 1, "chunk": 0, "n_trials": 2}
+        cache.put(scenario, "abc123", coords, {"wins": 1, "alarms": 0})
+        assert cache.get(scenario, "abc123") == {"wins": 1, "alarms": 0}
+        assert cache.get(scenario, "missing") is None
+
+    def test_upsert_overwrites(self, tmp_path, backend):
+        cache = ResultCache(tmp_path, backend=backend)
+        scenario = _scenario()
+        cache.put(scenario, "k", {}, {"wins": 1})
+        cache.put(scenario, "k", {}, {"wins": 2})
+        assert cache.get(scenario, "k") == {"wins": 2}
+
+    def test_cached_keys_membership(self, tmp_path, backend):
+        cache = ResultCache(tmp_path, backend=backend)
+        scenario = _scenario()
+        for key in ("a1", "b2", "c3"):
+            cache.put(scenario, key, {"k": key}, {"wins": 0})
+        assert cache.cached_keys(scenario, ["a1", "c3", "zz"]) == {"a1", "c3"}
+        assert cache.cached_keys(_scenario(seed=99), ["a1"]) == set()
+
+    def test_namespaces_isolated_by_scenario_hash(self, tmp_path, backend):
+        cache = ResultCache(tmp_path, backend=backend)
+        cache.put(_scenario(), "k", {}, {"wins": 1})
+        assert cache.get(_scenario(seed=99), "k") is None
+
+    def test_stats_counts_entries_and_names(self, tmp_path, backend):
+        cache = ResultCache(tmp_path, backend=backend)
+        scenario = _scenario()
+        for key in ("a", "b"):
+            cache.put(scenario, key, {}, {"wins": 0})
+        stats = cache.stats()
+        assert stats.backend == backend
+        assert stats.entries == 2
+        assert stats.bytes > 0
+        (per_scenario,) = stats.scenarios
+        assert per_scenario.scenario_hash == scenario.scenario_hash()
+        assert per_scenario.name == "store-test"
+        assert per_scenario.entries == 2
+
+    def test_prune_by_namespace(self, tmp_path, backend):
+        cache = ResultCache(tmp_path, backend=backend)
+        keep, drop = _scenario(), _scenario(seed=99)
+        cache.put(keep, "k", {}, {"wins": 0})
+        cache.put(drop, "k", {}, {"wins": 0})
+        removed = cache.prune([drop.scenario_hash()])
+        assert removed == 1
+        assert cache.get(keep, "k") is not None
+        assert cache.get(drop, "k") is None
+
+    def test_prune_all(self, tmp_path, backend):
+        cache = ResultCache(tmp_path, backend=backend)
+        cache.put(_scenario(), "k", {}, {"wins": 0})
+        cache.put(_scenario(seed=99), "k", {}, {"wins": 0})
+        assert cache.prune() == 2
+        assert cache.stats().entries == 0
+
+    def test_empty_cache_stats(self, tmp_path, backend):
+        stats = ResultCache(tmp_path / "nothing", backend=backend).stats()
+        assert stats.entries == 0
+        assert stats.scenarios == ()
+
+
+class TestFilesystemLayoutCompatibility:
+    """The filesystem backend must keep the historical on-disk bytes."""
+
+    def test_layout_matches_historical_shape(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        scenario = _scenario()
+        cache.put(scenario, "deadbeef", {"c": 1}, {"wins": 2})
+        directory = tmp_path / scenario.scenario_hash()
+        body = json.loads((directory / "deadbeef.json").read_text())
+        assert body == {"coords": {"c": 1}, "result": {"wins": 2}}
+        manifest = json.loads((directory / "scenario.json").read_text())
+        assert manifest["name"] == scenario.name
+        assert manifest["payload"] == scenario.payload()
+
+    def test_corrupt_entry_reads_as_absent(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        scenario = _scenario()
+        cache.put(scenario, "k", {}, {"wins": 1})
+        path = tmp_path / scenario.scenario_hash() / "k.json"
+        path.write_bytes(b"\xff not json")
+        assert cache.get(scenario, "k") is None
+
+
+class TestSQLiteDurability:
+    def test_single_file_holds_everything(self, tmp_path):
+        cache = ResultCache(tmp_path, backend="sqlite")
+        for seed in range(3):
+            cache.put(_scenario(seed=seed), "k", {}, {"wins": seed})
+        files = {p.name for p in tmp_path.iterdir() if p.is_file()}
+        assert "results.sqlite" in files
+        # No per-scenario directories appear.
+        assert not any(p.is_dir() for p in tmp_path.iterdir())
+
+    def test_wal_mode_enabled(self, tmp_path):
+        store = SQLiteStore(tmp_path)
+        store.put("hash", "k", {}, {"x": 1})
+        mode = store._connect().execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode == "wal"
+
+    def test_reopen_sees_previous_writes(self, tmp_path):
+        ResultCache(tmp_path, backend="sqlite").put(
+            _scenario(), "k", {}, {"wins": 7}
+        )
+        fresh = ResultCache(tmp_path, backend="sqlite")
+        assert fresh.get(_scenario(), "k") == {"wins": 7}
+
+    def test_prune_reclaims_disk_space(self, tmp_path):
+        """`cache prune` must shrink the on-disk footprint (main file
+        plus WAL), not just delete rows inside full-size files
+        (regression)."""
+
+        def on_disk() -> int:
+            return sum(p.stat().st_size for p in tmp_path.iterdir())
+
+        store = SQLiteStore(tmp_path)
+        blob = {"data": "x" * 4096}
+        for i in range(200):
+            store.put("hash", f"k{i:03d}", {}, blob)
+        full_size = on_disk()
+        assert store.prune() == 200
+        assert on_disk() < full_size / 4
+
+    def test_reads_never_create_the_database(self, tmp_path):
+        """A status query on a fresh root must not leave results.sqlite
+        (or WAL/SHM files) behind (regression)."""
+        store = SQLiteStore(tmp_path / "fresh")
+        assert store.get("hash", "k") is None
+        assert store.cached_keys("hash", ["k"]) == set()
+        assert store.namespace_names() == {}
+        assert not (tmp_path / "fresh").exists()
+
+    def test_read_on_unwritable_parent_reports_absent(self, tmp_path):
+        """Reads under a read-only parent degrade to 'nothing cached',
+        never a PermissionError traceback."""
+        parent = tmp_path / "ro"
+        parent.mkdir()
+        parent.chmod(0o500)
+        try:
+            store = SQLiteStore(parent / "cache")
+            assert store.get("hash", "k") is None
+            assert store.cached_keys("hash", ["k"]) == set()
+        finally:
+            parent.chmod(0o700)
+
+    def test_namespace_names_match_manifests(self, tmp_path):
+        for backend in ("filesystem", "sqlite"):
+            cache = ResultCache(tmp_path / backend, backend=backend)
+            scenario = _scenario()
+            cache.put(scenario, "k", {}, {"wins": 0})
+            assert cache.store.namespace_names() == {
+                scenario.scenario_hash(): "store-test"
+            }
+
+    def test_corrupt_row_reads_as_absent(self, tmp_path):
+        store = SQLiteStore(tmp_path)
+        store.put("hash", "k", {}, {"x": 1})
+        store._connect().execute(
+            "UPDATE units SET result = '{ not json' WHERE unit_key = 'k'"
+        )
+        assert store.get("hash", "k") is None
+
+
+class TestCachedKeysScaling:
+    """The satellite fix: membership is one listing, not a stat per key."""
+
+    def test_filesystem_membership_is_one_scandir(
+        self, tmp_path, monkeypatch
+    ):
+        cache = ResultCache(tmp_path)
+        scenario = _scenario()
+        keys = [f"key{i:04d}" for i in range(200)]
+        for key in keys:
+            cache.put(scenario, key, {"k": key}, {"wins": 0})
+
+        import pathlib
+
+        import repro.campaigns.store as store_module
+
+        scandir_calls = {"n": 0}
+        real_scandir = os.scandir
+
+        def counting_scandir(*args, **kwargs):
+            scandir_calls["n"] += 1
+            return real_scandir(*args, **kwargs)
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError(
+                "cached_keys must not touch per-key metadata"
+            )
+
+        monkeypatch.setattr(store_module.os, "scandir", counting_scandir)
+        monkeypatch.setattr(pathlib.Path, "exists", forbidden)
+        monkeypatch.setattr(pathlib.Path, "stat", forbidden)
+        monkeypatch.setattr(pathlib.Path, "read_text", forbidden)
+
+        hit = cache.cached_keys(scenario, keys + ["absent"])
+        assert hit == set(keys)
+        assert scandir_calls["n"] == 1
+
+    def test_sqlite_membership_is_one_query(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path, backend="sqlite")
+        scenario = _scenario()
+        keys = [f"key{i:04d}" for i in range(100)]
+        for key in keys:
+            cache.put(scenario, key, {"k": key}, {"wins": 0})
+
+        store = cache.store
+        real_conn = store._connect()
+        executes = {"n": 0}
+
+        class CountingConn:
+            def execute(self, sql, *args):
+                executes["n"] += 1
+                return real_conn.execute(sql, *args)
+
+            def __getattr__(self, name):
+                return getattr(real_conn, name)
+
+        store._conn = CountingConn()
+        hit = cache.cached_keys(scenario, keys)
+        store._conn = real_conn
+        assert hit == set(keys)
+        assert executes["n"] == 1
+
+    def test_runner_status_uses_the_fast_path(self, tmp_path, monkeypatch):
+        """CampaignRunner.status answers from cached_keys, not get()."""
+        from repro.campaigns import CampaignRunner
+
+        scenario = _scenario()
+        runner = CampaignRunner(scenario, cache_dir=tmp_path)
+        runner.run()
+
+        def forbidden_get(*args, **kwargs):
+            raise AssertionError("status must not read unit payloads")
+
+        monkeypatch.setattr(ResultCache, "get", forbidden_get)
+        status = CampaignRunner(scenario, cache_dir=tmp_path).status()
+        assert status.complete
+
+
+class TestCacheCli:
+    def _run(self, capsys, *argv) -> str:
+        from repro.campaigns.cli import main
+
+        assert main(list(argv)) == 0
+        return capsys.readouterr().out
+
+    def _seed_cache(self, tmp_path) -> Scenario:
+        scenario = _scenario()
+        cache = ResultCache(tmp_path)
+        cache.put(scenario, "k1", {}, {"wins": 1})
+        cache.put(scenario, "k2", {}, {"wins": 0})
+        return scenario
+
+    def test_stats_text(self, capsys, tmp_path):
+        self._seed_cache(tmp_path)
+        out = self._run(
+            capsys, "cache", "stats", "--cache-dir", str(tmp_path)
+        )
+        assert "store-test" in out
+        assert "2 unit(s)" in out
+
+    def test_stats_json(self, capsys, tmp_path):
+        scenario = self._seed_cache(tmp_path)
+        out = self._run(
+            capsys, "cache", "stats", "--json", "--cache-dir", str(tmp_path)
+        )
+        payload = json.loads(out)
+        assert payload["entries"] == 2
+        assert payload["scenarios"][0]["hash"] == scenario.scenario_hash()
+
+    def test_prune_by_scenario_name(self, capsys, tmp_path):
+        self._seed_cache(tmp_path)
+        out = self._run(
+            capsys,
+            "cache", "prune", "--scenario", "store-test",
+            "--cache-dir", str(tmp_path),
+        )
+        assert "pruned 2 unit(s)" in out
+        assert ResultCache(tmp_path).stats().entries == 0
+
+    def test_prune_by_name_reads_manifests_not_units(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """Name resolution for prune must not stat/read the unit
+        entries -- at fleet unit counts that is a full metadata sweep
+        (regression)."""
+        self._seed_cache(tmp_path)
+        from repro.campaigns.store import FilesystemStore
+
+        def forbidden_stats(self):
+            raise AssertionError("prune --scenario must not call stats()")
+
+        monkeypatch.setattr(FilesystemStore, "stats", forbidden_stats)
+        out = self._run(
+            capsys,
+            "cache", "prune", "--scenario", "store-test",
+            "--cache-dir", str(tmp_path),
+        )
+        assert "pruned 2 unit(s)" in out
+
+    def test_prune_all(self, capsys, tmp_path):
+        self._seed_cache(tmp_path)
+        out = self._run(
+            capsys, "cache", "prune", "--all", "--cache-dir", str(tmp_path)
+        )
+        assert "pruned 2 unit(s)" in out
+
+    def test_prune_requires_exactly_one_selector(self, tmp_path):
+        from repro.campaigns.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["cache", "prune", "--cache-dir", str(tmp_path)])
+        with pytest.raises(SystemExit):
+            main([
+                "cache", "prune", "--all", "--scenario", "x",
+                "--cache-dir", str(tmp_path),
+            ])
+
+    def test_prune_unknown_name_lists_cached(self, tmp_path, capsys):
+        from repro.campaigns.cli import main
+
+        self._seed_cache(tmp_path)
+        with pytest.raises(SystemExit, match="store-test"):
+            main([
+                "cache", "prune", "--scenario", "nope",
+                "--cache-dir", str(tmp_path),
+            ])
+
+    def test_stats_and_prune_cover_both_layouts(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """Both backends can share one root; with no explicit backend
+        selection the cache verbs must see (and prune) both layouts,
+        not silently skip one (regression)."""
+        monkeypatch.delenv("REPRO_CACHE_BACKEND", raising=False)
+        scenario = _scenario()
+        ResultCache(tmp_path, backend="filesystem").put(
+            scenario, "fs-unit", {}, {"wins": 1}
+        )
+        ResultCache(tmp_path, backend="sqlite").put(
+            scenario, "sq-unit", {}, {"wins": 1}
+        )
+        out = self._run(
+            capsys, "cache", "stats", "--json", "--cache-dir", str(tmp_path)
+        )
+        payload = json.loads(out)
+        assert payload["entries"] == 2
+        assert {s["backend"] for s in payload["stores"]} == {
+            "filesystem", "sqlite",
+        }
+        out = self._run(
+            capsys, "cache", "prune", "--all", "--cache-dir", str(tmp_path)
+        )
+        assert "pruned 2 unit(s)" in out
+        assert ResultCache(tmp_path, backend="filesystem").stats().entries == 0
+        assert ResultCache(tmp_path, backend="sqlite").stats().entries == 0
+
+    def test_prune_by_name_covers_both_layouts(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_CACHE_BACKEND", raising=False)
+        scenario = _scenario()
+        ResultCache(tmp_path, backend="filesystem").put(
+            scenario, "fs-unit", {}, {"wins": 1}
+        )
+        ResultCache(tmp_path, backend="sqlite").put(
+            scenario, "sq-unit", {}, {"wins": 1}
+        )
+        out = self._run(
+            capsys,
+            "cache", "prune", "--scenario", "store-test",
+            "--cache-dir", str(tmp_path),
+        )
+        assert "pruned 2 unit(s) from 2 namespace(s)" in out
+
+    def test_run_with_sqlite_backend_flag(self, capsys, tmp_path):
+        out = self._run(
+            capsys,
+            "run", "attack-success-shielded",
+            "--trials", "2", "--locations", "1",
+            "--cache-dir", str(tmp_path), "--cache-backend", "sqlite",
+        )
+        assert "computed" in out
+        assert (tmp_path / "results.sqlite").exists()
+
+    def test_env_backend_selection(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_BACKEND", "sqlite")
+        self._run(
+            capsys,
+            "run", "attack-success-shielded",
+            "--trials", "2", "--locations", "1",
+            "--cache-dir", str(tmp_path),
+        )
+        assert (tmp_path / "results.sqlite").exists()

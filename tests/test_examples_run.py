@@ -20,6 +20,7 @@ FAST_EXAMPLES = [
     "full_duplex_lab.py",
     "clinical_session.py",
     "physio_leakage.py",
+    "fleet_prevalence.py",
 ]
 
 

@@ -222,7 +222,7 @@ class TestValidateCli:
         verdicts = dict(
             re.findall(r"^== (\S+) \[fixed\] -- (\w+) ==$", out, re.MULTILINE)
         )
-        assert len(verdicts) == 12
+        assert len(verdicts) == 15
         assert verdicts.pop("physio-leakage-shielded") in {"PASS", "INCONCLUSIVE"}
         not_passing = {k: v for k, v in verdicts.items() if v != "PASS"}
         assert not not_passing, not_passing
