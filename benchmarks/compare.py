@@ -30,13 +30,15 @@ BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
 DEFAULT_BASELINE = BENCH_DIR / "BENCH_baseline.json"
 #: The gated suites: DSP primitives, the physiological telemetry hot
-#: paths (ECG synthesis, codec, batch eavesdropping, inference), and
-#: the fleet hot paths (cohort synthesis, shard reduction, SQLite
-#: cache throughput).
+#: paths (ECG synthesis, codec, batch eavesdropping, inference), the
+#: fleet hot paths (cohort synthesis, shard reduction, SQLite cache
+#: throughput), and the accel layer (registry-dispatched kernels plus
+#: the executor's shared-memory payload transport).
 GATED_SUITES = (
     BENCH_DIR / "test_perf_primitives.py",
     BENCH_DIR / "test_perf_physio.py",
     BENCH_DIR / "test_perf_fleet.py",
+    BENCH_DIR / "test_perf_accel.py",
 )
 
 
@@ -102,6 +104,41 @@ def compare(
     return failures
 
 
+def markdown_table(
+    baseline: dict[str, float], current: dict[str, float], threshold: float
+) -> str:
+    """Per-benchmark speedup/regression table as GitHub-flavoured markdown.
+
+    ``speedup`` is baseline/current (>1 means this run is faster); CI
+    uploads the rendered table as an artifact next to the raw export so
+    reviewers read the perf delta without parsing JSON.
+    """
+    lines = [
+        "| benchmark | baseline (ms) | current (ms) | speedup | status |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for name in sorted(set(baseline) | set(current)):
+        base = baseline.get(name)
+        now = current.get(name)
+        if base is None:
+            lines.append(
+                f"| {name} | - | {now * 1e3:.3f} | - | new |"
+            )
+            continue
+        if now is None:
+            lines.append(f"| {name} | {base * 1e3:.3f} | - | - | missing |")
+            continue
+        if base <= 0:
+            continue
+        speedup = base / now
+        status = "regression" if now / base > 1.0 + threshold else "ok"
+        lines.append(
+            f"| {name} | {base * 1e3:.3f} | {now * 1e3:.3f} "
+            f"| {speedup:.2f}x | {status} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -129,6 +166,12 @@ def main(argv: list[str] | None = None) -> int:
         "--update-baseline",
         action="store_true",
         help="rewrite the stored baseline from this run and exit 0",
+    )
+    parser.add_argument(
+        "--markdown",
+        type=Path,
+        default=None,
+        help="also write a speedup/regression table (markdown) here",
     )
     args = parser.parse_args(argv)
 
@@ -162,6 +205,11 @@ def main(argv: list[str] | None = None) -> int:
     print(f"comparing {export.name} against {args.baseline.name} "
           f"(threshold +{args.threshold:.0%}):")
     failures = compare(baseline, current, args.threshold)
+    if args.markdown is not None:
+        args.markdown.write_text(
+            markdown_table(baseline, current, args.threshold)
+        )
+        print(f"\nmarkdown table written to {args.markdown}")
     if failures:
         print("\nperf regressions detected:", file=sys.stderr)
         for line in failures:

@@ -1,0 +1,50 @@
+"""Optional-dependency kernel acceleration for the simulation hot paths.
+
+The four profiled hot kernels -- jam tone-correlation colouring, the
+coherent-FSK vectorized demod, the ECG windowed scatter-add, and the
+attacker's autocorrelation-HR / beat-detection loop -- dispatch through
+one registry::
+
+    from repro import accel
+    kernel = accel.get_kernel("hr_unbiased_autocorr")
+
+Backends: ``numpy`` (always present; bit-identical to the pre-accel
+code and therefore the determinism reference for every cache hash and
+golden verdict) and ``numba`` (a JIT overlay registered only when the
+optional dependency imports).  Select with ``REPRO_ACCEL=auto|numba|numpy``
+or the ``--accel`` CLI flag; ``auto`` (the default) degrades to numpy
+silently when numba is missing.
+
+See ``docs/performance.md`` for the architecture and the recipe for
+adding a kernel.
+"""
+
+from repro.accel.registry import (
+    ACCEL_ENV,
+    BACKENDS,
+    CHOICES,
+    available_backends,
+    get_kernel,
+    kernel_names,
+    numba_available,
+    register,
+    resolve_backend,
+    set_backend,
+)
+from repro.accel import reference  # noqa: F401  (registers numpy kernels)
+
+if numba_available():  # pragma: no cover - exercised only with numba installed
+    from repro.accel import numba_backend  # noqa: F401
+
+__all__ = [
+    "ACCEL_ENV",
+    "BACKENDS",
+    "CHOICES",
+    "available_backends",
+    "get_kernel",
+    "kernel_names",
+    "numba_available",
+    "register",
+    "resolve_backend",
+    "set_backend",
+]

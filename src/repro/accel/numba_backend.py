@@ -1,0 +1,167 @@
+"""Numba JIT overlay of the accel kernel registry.
+
+Imported by :mod:`repro.accel` only when numba itself imports, so the
+module can use ``numba`` unconditionally.  Each kernel reimplements the
+contract documented in :mod:`repro.accel.reference` as a compiled loop:
+no large temporaries (the numpy ECG scatter-add materialises windowed
+``(n_beats, 2*half+1)`` index/value matrices; the loop never does), and
+O(n * lag_max) autocorrelation instead of numpy's O(n^2) full
+correlation.
+
+Numerics: the suppression kernel is exactly deterministic (integer and
+float comparisons only).  The floating kernels may differ from the
+numpy references by reassociation / libm ulps -- the hypothesis parity
+suite pins them to the references at tight tolerances, and campaign
+determinism is defined by the numpy backend (the default whenever numba
+is absent).
+
+Compilation is lazy (first call per signature) and cached on disk where
+numba permits, so importing this module stays cheap.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from numba import njit
+
+from repro.accel.registry import register
+
+_JIT = dict(cache=True, fastmath=False, nogil=True)
+
+
+@njit(**_JIT)
+def _jam_tone_colour(factor, draws):
+    count, n_bits, _ = draws.shape
+    out = np.empty((count, n_bits, 2), dtype=np.complex128)
+    for c in range(count):
+        for m in range(n_bits):
+            d0 = draws[c, m, 0]
+            d1 = draws[c, m, 1]
+            out[c, m, 0] = factor[m, 0, 0] * d0 + factor[m, 0, 1] * d1
+            out[c, m, 1] = factor[m, 1, 0] * d0 + factor[m, 1, 1] * d1
+    return out
+
+
+@register("jam_tone_colour", "numba")
+def jam_tone_colour(factor: np.ndarray, draws: np.ndarray) -> np.ndarray:
+    return _jam_tone_colour(
+        np.ascontiguousarray(factor), np.ascontiguousarray(draws)
+    )
+
+
+@njit(**_JIT)
+def _fsk_coherent_bits(chunks, correlators, h):
+    n_bits, spb = chunks.shape
+    bits = np.empty(n_bits, dtype=np.int64)
+    for i in range(n_bits):
+        c0 = complex(0.0, 0.0)
+        c1 = complex(0.0, 0.0)
+        for k in range(spb):
+            sample = chunks[i, k]
+            c0 += sample * correlators[k, 0]
+            c1 += sample * correlators[k, 1]
+        angle = -math.pi * h * i
+        rotation = complex(math.cos(angle), math.sin(angle))
+        m0 = (c0 * rotation).real
+        m1 = (c1 * rotation).real
+        bits[i] = 1 if m1 > m0 else 0
+    return bits
+
+
+@register("fsk_coherent_bits", "numba")
+def fsk_coherent_bits(
+    chunks: np.ndarray, correlators: np.ndarray, h: int
+) -> np.ndarray:
+    return _fsk_coherent_bits(
+        np.ascontiguousarray(chunks), np.ascontiguousarray(correlators), h
+    )
+
+
+@njit(**_JIT)
+def _ecg_wave_accumulate(flat, record_index, centers, amps, sigma, fs, half, n):
+    n_beats = centers.shape[0]
+    inv_sigma = 1.0 / sigma
+    for b in range(n_beats):
+        center = centers[b]
+        amp = amps[b]
+        if amp == 0.0:
+            continue
+        base = int(np.round(center * fs))
+        row = record_index[b] * n
+        for off in range(-half, half + 1):
+            idx = base + off
+            if idx < 0 or idx >= n:
+                continue
+            t_rel = idx / fs - center
+            z = t_rel * inv_sigma
+            flat[row + idx] += amp * math.exp(-0.5 * z * z)
+
+
+@register("ecg_wave_accumulate", "numba")
+def ecg_wave_accumulate(
+    flat: np.ndarray,
+    record_index: np.ndarray,
+    centers: np.ndarray,
+    amps: np.ndarray,
+    sigma: float,
+    fs: float,
+    half: int,
+    n: int,
+) -> None:
+    _ecg_wave_accumulate(
+        flat,
+        np.ascontiguousarray(record_index),
+        np.ascontiguousarray(centers),
+        np.ascontiguousarray(amps),
+        float(sigma),
+        float(fs),
+        int(half),
+        int(n),
+    )
+
+
+@njit(**_JIT)
+def _hr_unbiased_autocorr(x, lag_hi):
+    n = x.shape[0]
+    out = np.empty(lag_hi + 1, dtype=np.float64)
+    for lag in range(lag_hi + 1):
+        total = 0.0
+        for i in range(n - lag):
+            total += x[i] * x[i + lag]
+        out[lag] = total / (n - lag)
+    return out
+
+
+@register("hr_unbiased_autocorr", "numba")
+def hr_unbiased_autocorr(x: np.ndarray, lag_hi: int) -> np.ndarray:
+    return _hr_unbiased_autocorr(np.ascontiguousarray(x), int(lag_hi))
+
+
+@njit(**_JIT)
+def _beat_refractory_suppress(candidates_desc, refractory):
+    count = candidates_desc.shape[0]
+    kept = np.empty(count, dtype=np.int64)
+    n_kept = 0
+    for i in range(count):
+        idx = candidates_desc[i]
+        ok = True
+        for j in range(n_kept):
+            if abs(idx - kept[j]) < refractory:
+                ok = False
+                break
+        if ok:
+            kept[n_kept] = idx
+            n_kept += 1
+    return kept[:n_kept].copy()
+
+
+@register("beat_refractory_suppress", "numba")
+def beat_refractory_suppress(
+    candidates_desc: np.ndarray, refractory: float
+) -> np.ndarray:
+    return _beat_refractory_suppress(
+        np.ascontiguousarray(candidates_desc, dtype=np.int64),
+        float(refractory),
+    )

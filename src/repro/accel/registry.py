@@ -1,0 +1,172 @@
+"""Kernel dispatch registry: one name, one backend per process.
+
+Every accelerated hot path in the simulation resolves its kernel through
+:func:`get_kernel` at call time.  A kernel name maps to one or more
+backend implementations -- ``"numpy"`` is mandatory and stays the pinned
+reference (bit-identical to the pre-accel code), ``"numba"`` is an
+optional JIT overlay registered only when the dependency imports.
+
+Backend selection, strongest claim first:
+
+1. an explicit ``backend=`` argument to :func:`get_kernel`;
+2. a process-wide override installed by :func:`set_backend` (the
+   ``--accel`` CLI flag);
+3. the ``REPRO_ACCEL`` environment variable;
+4. ``auto``: numba when importable, numpy otherwise.
+
+Asking for ``numba`` when the dependency is missing is an error (a
+silent numpy fallback would misreport benchmark results); ``auto``
+degrades silently by design.  The selected backend never enters cache
+keys, scenario hashes, or golden verdicts -- it only changes how fast
+the same numbers appear.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+__all__ = [
+    "ACCEL_ENV",
+    "BACKENDS",
+    "CHOICES",
+    "available_backends",
+    "get_kernel",
+    "kernel_names",
+    "numba_available",
+    "register",
+    "resolve_backend",
+    "set_backend",
+]
+
+#: Environment variable selecting the kernel backend.
+ACCEL_ENV = "REPRO_ACCEL"
+
+#: Concrete backends a kernel can be registered under.
+BACKENDS = ("numpy", "numba")
+
+#: Every valid user-facing selection (``auto`` resolves to a backend).
+CHOICES = ("auto",) + BACKENDS
+
+_REGISTRY: dict[str, dict[str, Callable]] = {}
+
+#: Process-wide override installed by :func:`set_backend` (CLI flag).
+_FORCED: str | None = None
+
+_NUMBA_AVAILABLE: bool | None = None
+
+
+def numba_available() -> bool:
+    """Whether the optional numba dependency imports (cached)."""
+    global _NUMBA_AVAILABLE
+    if _NUMBA_AVAILABLE is None:
+        try:
+            import numba  # noqa: F401
+        except Exception:
+            _NUMBA_AVAILABLE = False
+        else:
+            _NUMBA_AVAILABLE = True
+    return _NUMBA_AVAILABLE
+
+
+def available_backends() -> tuple[str, ...]:
+    """The backends this process can actually dispatch to."""
+    return BACKENDS if numba_available() else ("numpy",)
+
+
+def register(name: str, backend: str) -> Callable[[Callable], Callable]:
+    """Decorator registering one kernel implementation.
+
+    ``reference`` registers every numpy kernel at package import;
+    ``numba_backend`` overlays JIT implementations only when numba is
+    importable, so a partial overlay is normal -- :func:`get_kernel`
+    falls back to numpy for names the active backend does not cover.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+
+    def decorator(fn: Callable) -> Callable:
+        _REGISTRY.setdefault(name, {})[backend] = fn
+        return fn
+
+    return decorator
+
+
+def kernel_names() -> tuple[str, ...]:
+    """Every registered kernel name (sorted)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_backend(choice: str | None = None) -> str:
+    """The concrete backend a kernel request dispatches to.
+
+    Precedence: explicit ``choice`` > :func:`set_backend` override >
+    ``REPRO_ACCEL`` > ``auto``.  ``auto`` resolves to numba when
+    available, else numpy; naming ``numba`` outright when it cannot
+    import raises with an actionable message.
+    """
+    if choice is None:
+        choice = _FORCED
+    if choice is None:
+        choice = os.environ.get(ACCEL_ENV, "").strip().lower() or "auto"
+    if choice not in CHOICES:
+        raise ValueError(
+            f"unknown accel backend {choice!r}; "
+            f"expected one of {', '.join(CHOICES)}"
+        )
+    if choice == "auto":
+        return "numba" if numba_available() else "numpy"
+    if choice == "numba" and not numba_available():
+        raise RuntimeError(
+            "accel backend 'numba' requested but numba is not installed; "
+            "install numba or use REPRO_ACCEL=auto (degrades to numpy)"
+        )
+    return choice
+
+
+def set_backend(choice: str | None) -> None:
+    """Install (or clear, with ``None``) a process-wide backend override.
+
+    Validates eagerly -- the ``--accel`` flag should fail at the command
+    line, not deep inside the first sweep.
+    """
+    global _FORCED
+    if choice is None or choice == "":
+        _FORCED = None
+        return
+    choice = choice.strip().lower()
+    if choice not in CHOICES:
+        raise ValueError(
+            f"unknown accel backend {choice!r}; "
+            f"expected one of {', '.join(CHOICES)}"
+        )
+    if choice == "numba" and not numba_available():
+        raise RuntimeError(
+            "accel backend 'numba' requested but numba is not installed; "
+            "install numba or use --accel auto (degrades to numpy)"
+        )
+    _FORCED = choice
+
+
+def get_kernel(name: str, backend: str | None = None) -> Callable:
+    """The active implementation of one named kernel.
+
+    Resolution is a dict lookup plus (at most) one environment read, so
+    hot paths call this per batch without caching the result -- which
+    keeps ``set_backend`` / ``REPRO_ACCEL`` changes effective mid-process
+    (tests flip backends; long-lived sessions stay consistent because
+    the environment does not change under them).
+    """
+    impls = _REGISTRY.get(name)
+    if impls is None:
+        raise KeyError(
+            f"unknown kernel {name!r}; registered: {', '.join(kernel_names())}"
+        )
+    resolved = resolve_backend(backend)
+    fn = impls.get(resolved)
+    if fn is None:
+        # Partial overlay: the numpy reference always exists.
+        fn = impls["numpy"]
+    return fn

@@ -34,6 +34,7 @@ import os
 import sys
 from pathlib import Path
 
+from repro import accel
 from repro.campaigns import registry
 from repro.campaigns.cache import default_cache_dir
 from repro.campaigns.store import (
@@ -110,6 +111,7 @@ def _runner(scenario: Scenario, args: argparse.Namespace) -> CampaignRunner:
             workers=args.workers,
             persist=not args.no_cache,
             cache_backend=args.cache_backend,
+            profile=getattr(args, "profile", False),
         )
     except ValueError as exc:  # e.g. --workers -1
         raise SystemExit(f"error: {exc}") from None
@@ -345,6 +347,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{result.cached_units} from cache, "
             f"{result.computed_units} computed ({where})"
         )
+        if runner.profile_path is not None:
+            print(f"profile: {runner.profile_path}")
+        elif args.profile:
+            print("profile: nothing to profile (every unit was cached)")
     return 0
 
 
@@ -681,6 +687,11 @@ def _add_execution_args(parser: argparse.ArgumentParser) -> None:
         help="run fully in memory: no cache reads or writes",
     )
     parser.add_argument(
+        "--accel", choices=accel.CHOICES, default=None,
+        help="kernel backend (default: REPRO_ACCEL, else auto -- numba "
+             "when installed, numpy otherwise; never changes results)",
+    )
+    parser.add_argument(
         "--format", choices=("text", "markdown", "json"), default="text",
         help="report format (default: text)",
     )
@@ -704,6 +715,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--force", action="store_true",
         help="recompute every unit, overwriting cache entries",
+    )
+    p_run.add_argument(
+        "--profile", action="store_true",
+        help="profile pending-unit evaluation with cProfile and write "
+             "profiles/<scenario>.pstats next to the cache root "
+             "(forces serial evaluation of the profiled units)",
     )
     _add_override_args(p_run)
     _add_execution_args(p_run)
@@ -821,6 +838,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "accel", None) is not None:
+        try:
+            accel.set_backend(args.accel)
+        except (ValueError, RuntimeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     try:
         return args.func(args)
     except KeyboardInterrupt:

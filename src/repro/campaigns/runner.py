@@ -21,6 +21,7 @@ campaign reproduces the figure sweeps number for number.
 
 from __future__ import annotations
 
+import cProfile
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -530,6 +531,14 @@ class CampaignRunner:
         ``"sqlite"``; ``None`` defers to ``REPRO_CACHE_BACKEND``.
         Fleet-scale campaigns should prefer SQLite -- one WAL file
         instead of 10^5-10^6 tiny JSON files.
+    profile:
+        Wrap pending-unit evaluation in :mod:`cProfile` and write
+        ``profiles/<scenario>.pstats`` next to the cache root when the
+        run finishes.  Profiling forces the units through the serial
+        in-process path (a subprocess pool would leave the profiler
+        watching pickling, not the actual kernels); worker count is
+        ignored for the profiled units.  Numbers are unaffected --
+        serial and parallel runs are bit-identical by contract.
     """
 
     def __init__(
@@ -539,15 +548,18 @@ class CampaignRunner:
         workers: int | None = None,
         persist: bool = True,
         cache_backend: str | None = None,
+        profile: bool = False,
     ):
         self.scenario = scenario
         self.executor = SweepExecutor(workers)
         self.persist = persist
+        self.profile = profile
+        self.profile_path: Path | None = None
+        self._cache_root = Path(
+            cache_dir if cache_dir is not None else default_cache_dir()
+        )
         self.cache: ResultCache | None = (
-            ResultCache(
-                cache_dir if cache_dir is not None else default_cache_dir(),
-                backend=cache_backend,
-            )
+            ResultCache(self._cache_root, backend=cache_backend)
             if persist
             else None
         )
@@ -632,14 +644,34 @@ class CampaignRunner:
         # complete, and each is flushed to the cache immediately -- an
         # interrupt loses at most the units still in flight, serial and
         # parallel alike.
-        streamed = self.executor.imap(
+        executor = self.executor
+        profiler: cProfile.Profile | None = None
+        if self.profile and pending:
+            # Profile in-process: a pool would hide the kernels behind
+            # pickling.  Serial evaluation is bit-identical by contract.
+            executor = SweepExecutor(1)
+            profiler = cProfile.Profile()
+        streamed = executor.imap(
             evaluate_unit, [u.spec for u in pending]
         )
-        for unit, result in zip(pending, streamed):
-            if self.cache is not None:
-                self.cache.put(self.scenario, unit.key, unit.coords, result)
-            results[unit.key] = result
-            computed += 1
+        if profiler is not None:
+            profiler.enable()
+        try:
+            for unit, result in zip(pending, streamed):
+                if profiler is not None:
+                    profiler.disable()
+                if self.cache is not None:
+                    self.cache.put(
+                        self.scenario, unit.key, unit.coords, result
+                    )
+                results[unit.key] = result
+                computed += 1
+                if profiler is not None:
+                    profiler.enable()
+        finally:
+            if profiler is not None:
+                profiler.disable()
+                self.profile_path = self._dump_profile(profiler)
         if not collect:
             return units, None, computed
         missing = [u.key for u in units if u.key not in results]
@@ -648,6 +680,19 @@ class CampaignRunner:
                 f"campaign incomplete: {len(missing)} units unevaluated"
             )
         return units, results, computed
+
+    def _dump_profile(self, profiler: cProfile.Profile) -> Path:
+        """Write the unit-evaluation profile next to the cache root.
+
+        ``profiles/<scenario>.pstats`` under the cache root, loadable
+        with :mod:`pstats` or snakeviz -- one file per scenario, so the
+        next perf change starts from measurements instead of guesses.
+        """
+        profile_dir = self._cache_root / "profiles"
+        profile_dir.mkdir(parents=True, exist_ok=True)
+        path = profile_dir / f"{self.scenario.name}.pstats"
+        profiler.dump_stats(path)
+        return path
 
     # -- reduction -----------------------------------------------------
 

@@ -302,8 +302,15 @@ class PhysioLab:
         # cancels out of the versus-chance comparison.
         chance_rng = np.random.default_rng(self._chance_root.spawn(1)[0])
         chance_err = np.zeros(n_records)
-        for _ in range(self.chance_repeats):
-            coin = chance_rng.integers(0, 2, size=shape, dtype=np.int64)
+        # One pre-drawn block for every repeat: the generator fills a
+        # (repeats, ...) draw element for element in the same stream
+        # order as repeat-sized calls in a loop, so this is bit-identical
+        # to the per-repeat draws it replaces -- minus the per-repeat RNG
+        # dispatch overhead.
+        coins = chance_rng.integers(
+            0, 2, size=(self.chance_repeats,) + shape, dtype=np.int64
+        )
+        for coin in coins:
             for i, guess in enumerate(inference.infer_batch(coin)):
                 chance_err[i] += abs(
                     guess.heart_rate_bpm - ecg.heart_rate_bpm[i]

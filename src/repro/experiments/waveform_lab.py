@@ -86,6 +86,18 @@ class RandomPayloadSource:
     def next_payload(self, rng: np.random.Generator) -> bytes:
         return bytes(rng.integers(0, 256, size=self.size))
 
+    def next_payload_batch(
+        self, rng: np.random.Generator, count: int
+    ) -> np.ndarray:
+        """``count`` payloads pre-drawn in one RNG call.
+
+        The generator fills a ``(count, size)`` draw element for element
+        in the same stream order as ``count`` per-packet calls, so row
+        ``i`` equals the ``i``-th :meth:`next_payload` -- batch and loop
+        are bit-identical, without ``count`` round trips into the RNG.
+        """
+        return rng.integers(0, 256, size=(count, self.size))
+
 
 def _dbm_to_linear_mw(power_dbm: float) -> float:
     """dBm to linear milliwatts (the lab's waveform power unit)."""
@@ -231,7 +243,25 @@ class PassiveLab:
         """
         if n_packets <= 0:
             raise ValueError("need at least one packet in a batch")
-        return np.stack([self.telemetry_packet_bits() for _ in range(n_packets)])
+        batch_draw = getattr(self.payload_source, "next_payload_batch", None)
+        if batch_draw is None:
+            # Sources without a batch hook keep the per-packet path.
+            return np.stack(
+                [self.telemetry_packet_bits() for _ in range(n_packets)]
+            )
+        # Batch-level RNG pre-draw: only the payload draws touch the
+        # lab's RNG inside this loop, so drawing them all up front
+        # consumes the stream exactly as the per-packet path does.
+        payloads = batch_draw(self.rng, n_packets)
+        rows = []
+        for payload in payloads:
+            self._sequence = (self._sequence + 1) % 256
+            packet = Packet(
+                self._serial, CommandType.TELEMETRY, self._sequence,
+                bytes(payload),
+            )
+            rows.append(self.codec.encode(packet))
+        return np.stack(rows)
 
     def _random_phases(self, count: int) -> np.ndarray:
         """``count`` unit-magnitude random phases, one per packet."""

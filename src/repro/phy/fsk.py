@@ -29,6 +29,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro.accel import get_kernel
 from repro.phy.signal import Waveform
 
 __all__ = [
@@ -284,12 +285,12 @@ class CoherentFSKDemodulator:
     ) -> np.ndarray:
         spb = self.config.samples_per_bit
         chunks = waveform.samples[: n_bits * spb].reshape(n_bits, spb)
-        correlations = chunks @ _tone_matrix(self.config)
-        # Phase at the start of bit i is i*pi*h (mod 2*pi): the conjugated
-        # reference contributes exp(-1j * pi * h * i) to each correlation.
-        rotation = np.exp(-1j * np.pi * h * np.arange(n_bits))
-        metrics = np.real(correlations * rotation[:, None])
-        return (metrics[:, 1] > metrics[:, 0]).astype(np.int64)
+        # Correlate + rotate + decide in one registry kernel (the numpy
+        # reference keeps the exact matmul/rotation maths of the
+        # pre-accel path).
+        return get_kernel("fsk_coherent_bits")(
+            chunks, _tone_matrix(self.config), h
+        )
 
     def _demodulate_loop(
         self, waveform: Waveform, n_bits: int | None = None

@@ -33,6 +33,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.accel import get_kernel
 from repro.runtime.seeding import spawn_seed_sequences
 
 __all__ = [
@@ -313,6 +314,7 @@ class ECGGenerator:
         has_p = np.array([r != "afib" for r in rhythms])
 
         flat = wave.reshape(-1)
+        accumulate = get_kernel("ecg_wave_accumulate")
         for name, amp, sigma, offset in _WAVES:
             if record_index.size == 0:
                 break
@@ -321,13 +323,7 @@ class ECGGenerator:
                 amps *= has_p[record_index]
             centers = beat_t + offset
             half = int(math.ceil(4.0 * sigma * fs))
-            offsets = np.arange(-half, half + 1)
-            idx = np.round(centers * fs).astype(np.int64)[:, None] + offsets
-            t_rel = idx / fs - centers[:, None]
-            values = amps[:, None] * np.exp(-0.5 * (t_rel / sigma) ** 2)
-            valid = (idx >= 0) & (idx < n)
-            flat_idx = record_index[:, None] * n + np.clip(idx, 0, n - 1)
-            np.add.at(flat, flat_idx[valid], values[valid])
+            accumulate(flat, record_index, centers, amps, sigma, fs, half, n)
 
         t = np.arange(n) / fs
         wave += config.wander_amplitude * np.sin(

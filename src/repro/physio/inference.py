@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.accel import get_kernel
 from repro.physio.codec import WaveformCodec
 from repro.physio.ecg import rate_from_beat_times
 from repro.protocol.packets import PacketCodec
@@ -123,9 +124,10 @@ def estimate_heart_rate(
             f"record too short for the HR search range: {n} samples at "
             f"{sample_rate_hz:g} Hz"
         )
-    ac = np.correlate(x, x, mode="full")[n - 1:]
-    # Unbiased: each lag's sum has n-lag terms.
-    ac = ac / (n - np.arange(n))
+    # Unbiased autocorrelation through the accel registry; the search
+    # below never reads past lag_max + 1 (the parabolic neighbour), so
+    # the kernel only computes that prefix.
+    ac = get_kernel("hr_unbiased_autocorr")(x, lag_max + 1)
 
     window = ac[lag_min: lag_max + 1]
     best = lag_min + int(np.argmax(window))
@@ -177,13 +179,15 @@ def detect_beats(
     if candidates.size == 0:
         return np.empty(0)
     refractory = config.refractory_s * sample_rate_hz
-    kept: list[int] = []
     # Strongest first; a weaker peak inside a kept peak's refractory
-    # window (e.g. a T wave) is suppressed.
-    for idx in candidates[np.argsort(x[candidates])[::-1]]:
-        if all(abs(idx - k) >= refractory for k in kept):
-            kept.append(int(idx))
-    return np.sort(np.array(kept)) / sample_rate_hz
+    # window (e.g. a T wave) is suppressed.  The ordering is computed
+    # here (numpy argsort, identical under every backend) so the
+    # suppression kernel reduces to exact integer/float comparisons.
+    order = np.argsort(x[candidates])[::-1]
+    kept = get_kernel("beat_refractory_suppress")(
+        candidates[order].astype(np.int64), float(refractory)
+    )
+    return np.sort(kept) / sample_rate_hz
 
 
 def refine_heart_rate(

@@ -15,7 +15,16 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
+from functools import partial
 from typing import Callable, Iterable, Iterator, TypeVar
+
+from repro.runtime.transport import (
+    DEFAULT_MIN_BYTES,
+    decode_payload,
+    encode_payload,
+    resolve_transport,
+    shm_call,
+)
 
 __all__ = ["SweepExecutor", "resolve_workers"]
 
@@ -64,16 +73,39 @@ class SweepExecutor:
         defaults to serial.  Serial execution runs in-process with no
         pool, so it stays the determinism reference.
     chunksize:
-        Batch size for shipping units to the pool (forwarded to
-        :meth:`concurrent.futures.ProcessPoolExecutor.map`); irrelevant
-        in serial mode.
+        Batch size for shipping units to the pool.  Both :meth:`map` and
+        :meth:`imap` forward it to every
+        :meth:`concurrent.futures.ProcessPoolExecutor.map` call --
+        one-shot pools and :meth:`pool_session` pools alike -- so the
+        pool-side batching never depends on which entry point ran the
+        sweep.  Irrelevant in serial mode (validated anyway: the same
+        constructor arguments must be legal at any worker count).
+    transport:
+        How unit payloads travel to and from workers: ``"pickle"``,
+        ``"shm"`` (ndarrays ride ``multiprocessing.shared_memory``
+        blocks), or ``"auto"`` (shared memory only for payloads whose
+        arrays exceed the size threshold).  ``None`` defers to
+        ``REPRO_TRANSPORT``, defaulting to ``auto``.  The transport
+        never changes results -- only copies.
     """
 
-    def __init__(self, workers: int | None = None, chunksize: int = 1):
+    def __init__(
+        self,
+        workers: int | None = None,
+        chunksize: int = 1,
+        transport: str | None = None,
+    ):
         self.workers = resolve_workers(workers)
+        if isinstance(chunksize, bool) or not isinstance(chunksize, int):
+            raise ValueError(
+                f"chunksize must be an integer, got {chunksize!r}"
+            )
         if chunksize < 1:
-            raise ValueError("chunksize must be at least 1")
+            raise ValueError(
+                f"chunksize must be at least 1, got {chunksize}"
+            )
         self.chunksize = chunksize
+        self.transport = resolve_transport(transport)
         self._pool: ProcessPoolExecutor | None = None
 
     @property
@@ -127,9 +159,29 @@ class SweepExecutor:
             for unit in units:
                 yield fn(unit)
             return
+        fn, units = self._apply_transport(fn, units)
         if self._pool is not None:  # inside a pool_session
-            yield from self._pool.map(fn, units, chunksize=self.chunksize)
+            for result in self._pool.map(fn, units, chunksize=self.chunksize):
+                yield decode_payload(result)
             return
         max_workers = min(self.workers, len(units))
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            yield from pool.map(fn, units, chunksize=self.chunksize)
+            for result in pool.map(fn, units, chunksize=self.chunksize):
+                yield decode_payload(result)
+
+    def _apply_transport(
+        self, fn: Callable[[T], R], units: list[T]
+    ) -> tuple[Callable, list]:
+        """Wrap a parallel map in the configured payload transport.
+
+        The pickle transport is the identity.  Otherwise unit inputs are
+        encoded here (in the parent), the worker-side wrapper decodes
+        them and encodes results, and :meth:`imap` decodes results as it
+        yields -- with ``auto``, payloads below the size threshold skip
+        encoding entirely, so the pickle path stays exercised.
+        """
+        if self.transport == "pickle":
+            return fn, units
+        min_bytes = 0 if self.transport == "shm" else DEFAULT_MIN_BYTES
+        encoded = [encode_payload(unit, min_bytes) for unit in units]
+        return partial(shm_call, fn, min_bytes=min_bytes), encoded

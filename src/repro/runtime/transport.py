@@ -1,0 +1,207 @@
+"""Zero-copy payload transport for process-pool sweeps.
+
+The default way a :class:`~repro.runtime.executor.SweepExecutor` ships a
+work unit to a worker -- and its result back -- is pickling over the
+pool's pipes.  For the small dict/scalar payloads most campaign units
+carry that is optimal.  For units whose inputs or outputs are large
+ndarrays (waveform blocks, cohort telemetry), pickling copies every
+byte through a pipe twice; this module instead places the arrays in
+``multiprocessing.shared_memory`` blocks and ships only tiny name/shape
+descriptors.
+
+Encoding walks the payload's plain containers (dicts, lists, tuples),
+lifts every ndarray above the size threshold family into shared-memory
+blocks, and replaces them with :class:`_Slot` placeholders; everything
+else pickles as before.  Decoding attaches, copies out (so consumers
+own their arrays and block lifetime stays trivial), closes, and unlinks
+-- the *consumer* of an encoded payload always unlinks its blocks, so a
+unit's input blocks die in the worker and its result blocks die in the
+parent.  A payload whose arrays are small (or that has none) passes
+through untouched, which keeps the pickle path the exercised fallback.
+
+Transport selection mirrors the accel registry: ``REPRO_TRANSPORT``
+(``auto`` | ``pickle`` | ``shm``) or the executor's ``transport=``
+argument.  ``auto`` (the default) uses shared memory only above
+:data:`DEFAULT_MIN_BYTES`; ``shm`` forces encoding regardless of size
+(tests, benchmarks); ``pickle`` disables it.  The transport never
+changes results -- serial, parallel-pickle, and parallel-shm runs are
+bit-identical, which the regression tests pin.
+
+Crash behaviour: blocks are registered with the interpreter's resource
+tracker at creation *and* attach, and ``unlink`` unregisters, so a
+worker killed mid-unit leaks its in-flight blocks only until process
+exit, when the tracker reclaims them -- SIGKILL/resume campaigns stay
+safe.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_MIN_BYTES",
+    "TRANSPORTS",
+    "TRANSPORT_ENV",
+    "decode_payload",
+    "encode_payload",
+    "resolve_transport",
+    "shm_call",
+]
+
+#: Environment variable selecting the payload transport.
+TRANSPORT_ENV = "REPRO_TRANSPORT"
+
+#: Every valid transport selection.
+TRANSPORTS = ("auto", "pickle", "shm")
+
+#: ``auto`` threshold: total ndarray bytes below which a payload stays
+#: on the pickle path.  Two shared-memory block round-trips (create,
+#: attach, copy, unlink) cost a few syscalls each; pickling small
+#: arrays through the pool pipe is cheaper until roughly this size.
+DEFAULT_MIN_BYTES = 1 << 16
+
+
+def resolve_transport(choice: str | None = None) -> str:
+    """The transport a sweep should use (flag > environment > auto)."""
+    if choice is None:
+        choice = os.environ.get(TRANSPORT_ENV, "").strip().lower() or "auto"
+    if choice not in TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {choice!r}; "
+            f"expected one of {', '.join(TRANSPORTS)}"
+        )
+    return choice
+
+
+@dataclass(frozen=True)
+class _Slot:
+    """Placeholder marking where a lifted array sat in the payload."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class _ShmArray:
+    """Descriptor of one array parked in a shared-memory block."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class ShmEncoded:
+    """A payload whose ndarrays travel via shared memory.
+
+    ``body`` is the original container structure with :class:`_Slot`
+    placeholders; ``arrays`` names the blocks, in slot order.  The
+    pickled size of this object is O(structure), independent of the
+    array bytes.
+    """
+
+    body: object
+    arrays: tuple[_ShmArray, ...]
+
+
+def _strip(obj, lifted: list[np.ndarray]):
+    """Replace every ndarray in plain containers with a slot marker."""
+    if isinstance(obj, np.ndarray):
+        lifted.append(obj)
+        return _Slot(len(lifted) - 1)
+    if isinstance(obj, dict):
+        return {key: _strip(value, lifted) for key, value in obj.items()}
+    if isinstance(obj, list):
+        return [_strip(value, lifted) for value in obj]
+    if isinstance(obj, tuple):
+        return tuple(_strip(value, lifted) for value in obj)
+    return obj
+
+
+def _fill(obj, arrays: list[np.ndarray]):
+    """Invert :func:`_strip` with the recovered arrays."""
+    if isinstance(obj, _Slot):
+        return arrays[obj.index]
+    if isinstance(obj, dict):
+        return {key: _fill(value, arrays) for key, value in obj.items()}
+    if isinstance(obj, list):
+        return [_fill(value, arrays) for value in obj]
+    if isinstance(obj, tuple):
+        return tuple(_fill(value, arrays) for value in obj)
+    return obj
+
+
+def encode_payload(obj, min_bytes: int = DEFAULT_MIN_BYTES):
+    """Lift a payload's ndarrays into shared-memory blocks.
+
+    Returns the payload unchanged when it holds no arrays or their
+    total size is below ``min_bytes`` (the pickle fallback); otherwise
+    a :class:`ShmEncoded` whose blocks the *decoder* owns and unlinks.
+    """
+    lifted: list[np.ndarray] = []
+    body = _strip(obj, lifted)
+    if not lifted or sum(a.nbytes for a in lifted) < min_bytes:
+        return obj
+    refs = []
+    try:
+        for array in lifted:
+            array = np.ascontiguousarray(array)
+            block = shared_memory.SharedMemory(
+                create=True, size=max(1, array.nbytes)
+            )
+            if array.nbytes:
+                np.ndarray(
+                    array.shape, dtype=array.dtype, buffer=block.buf
+                )[...] = array
+            refs.append(_ShmArray(block.name, array.shape, array.dtype.str))
+            block.close()
+    except Exception:
+        for ref in refs:  # don't leak blocks behind a partial encode
+            _unlink_quietly(ref.name)
+        raise
+    return ShmEncoded(body=body, arrays=tuple(refs))
+
+
+def decode_payload(obj):
+    """Materialise a payload, consuming (unlinking) its blocks.
+
+    Non-encoded payloads pass through untouched.  Arrays are copied out
+    of the blocks, so the result owns its memory and no view can
+    outlive the segment.
+    """
+    if not isinstance(obj, ShmEncoded):
+        return obj
+    arrays: list[np.ndarray] = []
+    for ref in obj.arrays:
+        block = shared_memory.SharedMemory(name=ref.name)
+        try:
+            view = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype),
+                              buffer=block.buf)
+            arrays.append(view.copy())
+        finally:
+            block.close()
+            _unlink_quietly(ref.name)
+    return _fill(obj.body, arrays)
+
+
+def _unlink_quietly(name: str) -> None:
+    try:
+        block = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return
+    block.close()
+    block.unlink()
+
+
+def shm_call(fn, payload, min_bytes: int = DEFAULT_MIN_BYTES):
+    """Worker-side wrapper: decode the unit, run it, encode the result.
+
+    Module-level (and shipped via ``functools.partial``) so it pickles
+    into any pool.  Input blocks are unlinked here, in the worker, the
+    moment the unit's arrays are copied out; result blocks are created
+    here and unlinked by the parent when it decodes.
+    """
+    return encode_payload(fn(decode_payload(payload)), min_bytes)

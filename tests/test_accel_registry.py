@@ -1,0 +1,137 @@
+"""Tests for the accel kernel dispatch registry."""
+
+import numpy as np
+import pytest
+
+from repro import accel
+from repro.accel import registry
+
+
+@pytest.fixture(autouse=True)
+def _clean_selection(monkeypatch):
+    """Isolate backend selection: no env leakage, no forced override."""
+    monkeypatch.delenv(accel.ACCEL_ENV, raising=False)
+    monkeypatch.setattr(registry, "_FORCED", None)
+
+
+class TestResolveBackend:
+    def test_auto_degrades_to_numpy_without_numba(self):
+        if accel.numba_available():
+            pytest.skip("numba installed; degradation leg not applicable")
+        assert accel.resolve_backend() == "numpy"
+        assert accel.resolve_backend("auto") == "numpy"
+
+    def test_auto_picks_numba_when_available(self):
+        if not accel.numba_available():
+            pytest.skip("numba not installed")
+        assert accel.resolve_backend("auto") == "numba"
+
+    def test_explicit_numpy_always_works(self):
+        assert accel.resolve_backend("numpy") == "numpy"
+
+    def test_env_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(accel.ACCEL_ENV, "numpy")
+        assert accel.resolve_backend() == "numpy"
+
+    def test_env_numba_without_dependency_errors(self, monkeypatch):
+        if accel.numba_available():
+            pytest.skip("numba installed; missing-dependency leg n/a")
+        monkeypatch.setenv(accel.ACCEL_ENV, "numba")
+        with pytest.raises(RuntimeError, match="numba is not installed"):
+            accel.resolve_backend()
+
+    def test_explicit_choice_beats_env(self, monkeypatch):
+        monkeypatch.setenv(accel.ACCEL_ENV, "numba")
+        # The env would error (no numba) or pick numba; the explicit
+        # argument must win either way.
+        assert accel.resolve_backend("numpy") == "numpy"
+
+    def test_forced_beats_env(self, monkeypatch):
+        monkeypatch.setenv(accel.ACCEL_ENV, "numba")
+        accel.set_backend("numpy")
+        assert accel.resolve_backend() == "numpy"
+
+    def test_unknown_choice_rejected(self):
+        with pytest.raises(ValueError, match="unknown accel backend"):
+            accel.resolve_backend("cython")
+
+    def test_unknown_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(accel.ACCEL_ENV, "gpu")
+        with pytest.raises(ValueError, match="unknown accel backend"):
+            accel.resolve_backend()
+
+    def test_blank_env_means_auto(self, monkeypatch):
+        monkeypatch.setenv(accel.ACCEL_ENV, "   ")
+        assert accel.resolve_backend() in accel.BACKENDS
+
+
+class TestSetBackend:
+    def test_validates_eagerly(self):
+        with pytest.raises(ValueError, match="unknown accel backend"):
+            accel.set_backend("fortran")
+
+    def test_numba_without_dependency_errors_at_set_time(self):
+        if accel.numba_available():
+            pytest.skip("numba installed; missing-dependency leg n/a")
+        with pytest.raises(RuntimeError, match="numba is not installed"):
+            accel.set_backend("numba")
+
+    def test_none_clears_override(self, monkeypatch):
+        accel.set_backend("numpy")
+        accel.set_backend(None)
+        monkeypatch.setenv(accel.ACCEL_ENV, "numpy")
+        assert accel.resolve_backend() == "numpy"
+
+    def test_case_and_whitespace_normalised(self):
+        accel.set_backend("  NumPy ")
+        assert accel.resolve_backend() == "numpy"
+
+
+class TestGetKernel:
+    def test_unknown_kernel_raises_keyerror(self):
+        with pytest.raises(KeyError, match="unknown kernel"):
+            accel.get_kernel("warp_drive")
+
+    def test_all_hot_kernels_registered(self):
+        names = accel.kernel_names()
+        for expected in (
+            "jam_tone_colour",
+            "fsk_coherent_bits",
+            "ecg_wave_accumulate",
+            "hr_unbiased_autocorr",
+            "beat_refractory_suppress",
+        ):
+            assert expected in names
+
+    def test_numpy_backend_returns_reference(self):
+        from repro.accel import reference
+
+        fn = accel.get_kernel("hr_unbiased_autocorr", backend="numpy")
+        assert fn is reference.hr_unbiased_autocorr
+
+    def test_partial_overlay_falls_back_to_numpy(self, monkeypatch):
+        """A backend missing one kernel dispatches that name to numpy."""
+        sentinel_registry = {
+            "only_numpy": {"numpy": lambda: "ref"},
+        }
+        monkeypatch.setattr(registry, "_REGISTRY", sentinel_registry)
+        monkeypatch.setattr(registry, "_NUMBA_AVAILABLE", True)
+        assert accel.get_kernel("only_numpy", backend="numba")() == "ref"
+
+    def test_dispatch_is_callable_and_correct(self):
+        fn = accel.get_kernel("beat_refractory_suppress")
+        out = fn(np.array([10, 100, 12], dtype=np.int64), 5.0)
+        assert out.tolist() == [10, 100]
+
+
+class TestAvailability:
+    def test_available_backends_always_includes_numpy(self):
+        assert "numpy" in accel.available_backends()
+
+    def test_choices_cover_backends(self):
+        assert set(accel.BACKENDS) < set(accel.CHOICES)
+        assert "auto" in accel.CHOICES
+
+    def test_register_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            accel.register("some_kernel", "tpu")

@@ -1,0 +1,193 @@
+"""Tests for the shared-memory payload transport."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import SweepExecutor
+from repro.runtime.transport import (
+    DEFAULT_MIN_BYTES,
+    TRANSPORT_ENV,
+    ShmEncoded,
+    decode_payload,
+    encode_payload,
+    resolve_transport,
+    shm_call,
+)
+
+
+def _round_trip(obj, min_bytes=0):
+    return decode_payload(encode_payload(obj, min_bytes=min_bytes))
+
+
+class TestResolveTransport:
+    def test_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv(TRANSPORT_ENV, raising=False)
+        assert resolve_transport() == "auto"
+
+    def test_env_selects(self, monkeypatch):
+        monkeypatch.setenv(TRANSPORT_ENV, "shm")
+        assert resolve_transport() == "shm"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(TRANSPORT_ENV, "shm")
+        assert resolve_transport("pickle") == "pickle"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown transport"):
+            resolve_transport("carrier-pigeon")
+
+    def test_unknown_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(TRANSPORT_ENV, "tcp")
+        with pytest.raises(ValueError, match="unknown transport"):
+            resolve_transport()
+
+
+class TestEncodeDecode:
+    def test_bare_array_round_trips(self):
+        array = np.arange(1000, dtype=np.float64).reshape(20, 50)
+        out = _round_trip(array)
+        np.testing.assert_array_equal(out, array)
+        assert out.dtype == array.dtype
+
+    def test_nested_containers_round_trip(self):
+        payload = {
+            "a": np.arange(64).reshape(8, 8),
+            "b": [np.ones(5, dtype=np.float32), {"deep": np.zeros(3)}],
+            "c": (np.array([1 + 2j]), "text", 42, None),
+        }
+        out = _round_trip(payload)
+        np.testing.assert_array_equal(out["a"], payload["a"])
+        np.testing.assert_array_equal(out["b"][0], payload["b"][0])
+        assert out["b"][0].dtype == np.float32
+        np.testing.assert_array_equal(out["b"][1]["deep"], payload["b"][1]["deep"])
+        assert isinstance(out["c"], tuple)
+        np.testing.assert_array_equal(out["c"][0], payload["c"][0])
+        assert out["c"][1:] == ("text", 42, None)
+
+    def test_empty_array_round_trips(self):
+        payload = {"empty": np.empty((0, 7)), "big": np.ones(100)}
+        out = _round_trip(payload)
+        assert out["empty"].shape == (0, 7)
+        np.testing.assert_array_equal(out["big"], payload["big"])
+
+    def test_non_contiguous_array_round_trips(self):
+        base = np.arange(100).reshape(10, 10)
+        view = base[::2, ::3]
+        assert not view.flags["C_CONTIGUOUS"]
+        out = _round_trip({"v": view})
+        np.testing.assert_array_equal(out["v"], view)
+
+    def test_no_arrays_passes_through_unchanged(self):
+        payload = {"just": "scalars", "n": 3}
+        assert encode_payload(payload, min_bytes=0) is payload
+
+    def test_below_threshold_passes_through(self):
+        payload = {"small": np.ones(4)}
+        assert encode_payload(payload, min_bytes=DEFAULT_MIN_BYTES) is payload
+
+    def test_above_threshold_encodes(self):
+        payload = {"big": np.ones(DEFAULT_MIN_BYTES, dtype=np.uint8)}
+        encoded = encode_payload(payload, min_bytes=DEFAULT_MIN_BYTES)
+        assert isinstance(encoded, ShmEncoded)
+        out = decode_payload(encoded)
+        np.testing.assert_array_equal(out["big"], payload["big"])
+
+    def test_decode_passes_plain_objects_through(self):
+        payload = {"x": 1}
+        assert decode_payload(payload) is payload
+
+    def test_decode_result_owns_its_memory(self):
+        array = np.arange(50, dtype=np.int64)
+        out = _round_trip(array)
+        out[:] = -1  # must not touch (or crash on) any shm segment
+        np.testing.assert_array_equal(
+            _round_trip(np.arange(50, dtype=np.int64)), np.arange(50)
+        )
+
+    def test_shm_call_wraps_worker_side(self):
+        payload = encode_payload({"x": np.arange(10_000)}, min_bytes=0)
+        result = shm_call(
+            lambda unit: {"sum": unit["x"].sum(), "arr": unit["x"] * 2},
+            payload,
+            min_bytes=0,
+        )
+        assert isinstance(result, ShmEncoded)
+        out = decode_payload(result)
+        assert out["sum"] == np.arange(10_000).sum()
+        np.testing.assert_array_equal(out["arr"], np.arange(10_000) * 2)
+
+
+def _scale_unit(unit):
+    """Module-level so it pickles into pool workers."""
+    return {
+        "index": unit["index"],
+        "mean": float(unit["block"].mean()),
+        "scaled": unit["block"] * 2.0,
+    }
+
+
+def _units(n=6, size=4096):
+    rng = np.random.default_rng(42)
+    return [
+        {"index": i, "block": rng.standard_normal(size)} for i in range(n)
+    ]
+
+
+class TestExecutorTransport:
+    def _run(self, **kwargs):
+        results = SweepExecutor(**kwargs).map(_scale_unit, _units())
+        return results
+
+    def test_serial_parallel_shm_identical(self):
+        serial = self._run(workers=1)
+        pickled = self._run(workers=2, transport="pickle")
+        shm = self._run(workers=2, transport="shm")
+        auto = self._run(workers=2, transport="auto")
+        for other in (pickled, shm, auto):
+            assert len(other) == len(serial)
+            for a, b in zip(serial, other):
+                assert a["index"] == b["index"]
+                assert a["mean"] == b["mean"]
+                np.testing.assert_array_equal(a["scaled"], b["scaled"])
+
+    def test_shm_inside_pool_session(self):
+        executor = SweepExecutor(workers=2, transport="shm")
+        with executor.pool_session():
+            first = executor.map(_scale_unit, _units())
+            second = executor.map(_scale_unit, _units())
+        serial = self._run(workers=1)
+        for run in (first, second):
+            for a, b in zip(serial, run):
+                np.testing.assert_array_equal(a["scaled"], b["scaled"])
+
+    def test_env_transport_reaches_executor(self, monkeypatch):
+        monkeypatch.setenv(TRANSPORT_ENV, "shm")
+        assert SweepExecutor().transport == "shm"
+
+    def test_constructor_rejects_bad_transport(self):
+        with pytest.raises(ValueError, match="unknown transport"):
+            SweepExecutor(transport="udp")
+
+    def test_auto_small_payloads_stay_pickle(self):
+        """Auto mode on sub-threshold payloads is the identity wrap."""
+        executor = SweepExecutor(workers=2, transport="auto")
+        units = [{"i": i, "tiny": np.ones(3)} for i in range(3)]
+        fn, wrapped = executor._apply_transport(lambda u: u, units)
+        assert wrapped[0] is units[0]  # untouched: pickled as before
+
+    def test_pickle_transport_is_identity(self):
+        executor = SweepExecutor(workers=2, transport="pickle")
+        units = [{"big": np.ones(1 << 17)}]
+        fn, wrapped = executor._apply_transport(_scale_unit, units)
+        assert fn is _scale_unit
+        assert wrapped is units
+
+    def test_no_leaked_segments(self):
+        import glob
+
+        before = set(glob.glob("/dev/shm/psm_*"))
+        self._run(workers=2, transport="shm")
+        for payload in (_units(2)[0], np.ones(2000)):
+            _round_trip(payload)
+        after = set(glob.glob("/dev/shm/psm_*"))
+        assert after <= before
