@@ -32,13 +32,16 @@ DEFAULT_BASELINE = BENCH_DIR / "BENCH_baseline.json"
 #: The gated suites: DSP primitives, the physiological telemetry hot
 #: paths (ECG synthesis, codec, batch eavesdropping, inference), the
 #: fleet hot paths (cohort synthesis, shard reduction, SQLite cache
-#: throughput), and the accel layer (registry-dispatched kernels plus
-#: the executor's shared-memory payload transport).
+#: throughput), the accel layer (registry-dispatched kernels plus the
+#: executor's shared-memory payload transport), and the observability
+#: layer (always-on metrics hooks, span emission, traced-vs-untraced
+#: campaign overhead).
 GATED_SUITES = (
     BENCH_DIR / "test_perf_primitives.py",
     BENCH_DIR / "test_perf_physio.py",
     BENCH_DIR / "test_perf_fleet.py",
     BENCH_DIR / "test_perf_accel.py",
+    BENCH_DIR / "test_perf_obs.py",
 )
 
 

@@ -26,6 +26,8 @@ from __future__ import annotations
 import os
 from typing import Callable
 
+from repro.obs.metrics import counter_inc
+
 __all__ = [
     "ACCEL_ENV",
     "BACKENDS",
@@ -169,4 +171,9 @@ def get_kernel(name: str, backend: str | None = None) -> Callable:
     if fn is None:
         # Partial overlay: the numpy reference always exists.
         fn = impls["numpy"]
+        resolved = "numpy"
+    # One dict update: the run's observability metrics record which
+    # backend each dispatch actually landed on (auto may degrade, an
+    # overlay may be partial) without touching the hot path's numbers.
+    counter_inc(f"accel.dispatch.{resolved}")
     return fn

@@ -1,6 +1,6 @@
 """The ``python -m repro`` command-line interface.
 
-Six subcommands operate the campaign subsystem::
+Seven subcommands operate the campaign subsystem::
 
     python -m repro list                         # what can be run
     python -m repro run attack-success-shielded  # run (resumes from cache)
@@ -8,6 +8,7 @@ Six subcommands operate the campaign subsystem::
     python -m repro compare attack-success-unshielded attack-success-shielded
     python -m repro validate                     # golden-figure check
     python -m repro cache stats                  # cache usage / cleanup
+    python -m repro report attack-success-shielded  # trace diagnostics
 
 ``run``, ``compare``, and ``validate`` emit text (default), markdown,
 or JSON via :class:`repro.experiments.report.ExperimentReport`, so
@@ -24,6 +25,13 @@ Killing a ``run`` (or ``validate``) mid-campaign is safe: completed
 work units are already on disk, and the next invocation completes from
 cache with bit-identical final numbers (same seeds) to an uninterrupted
 run.
+
+``run`` and ``compare`` accept ``--trace`` (or ``REPRO_TRACE=1``):
+the run writes a structured JSONL trace -- manifest plus one span per
+work unit -- to ``<cache>/runs/<run_id>/trace.jsonl``, which ``report``
+reduces to per-stage latency percentiles, cache hit rate, worker
+utilization, and the slowest units.  Tracing never changes results or
+cache contents (see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -48,6 +56,14 @@ from repro.campaigns.runner import CampaignResult, CampaignRunner
 from repro.campaigns.spec import Scenario
 from repro.experiments.metrics import success_probability
 from repro.experiments.report import ExperimentReport
+from repro.obs.log import (
+    LOG_LEVELS,
+    configure_logging,
+    console,
+    get_logger,
+)
+from repro.obs.report import find_runs, load_trace, summarize_run
+from repro.obs.trace import Tracer, resolve_tracing, runs_root
 from repro.stats.adaptive import AdaptivePolicy
 from repro.stats.validation import (
     ScenarioValidation,
@@ -56,6 +72,8 @@ from repro.stats.validation import (
 )
 
 __all__ = ["main"]
+
+_log = get_logger("cli")
 
 #: ``validate --budget`` presets: fixed trials per grid point (None =
 #: the scenario's registered budget) and whether to shrink the grid to
@@ -105,6 +123,14 @@ def _apply_overrides(scenario: Scenario, args: argparse.Namespace) -> Scenario:
 
 def _runner(scenario: Scenario, args: argparse.Namespace) -> CampaignRunner:
     try:
+        tracer = None
+        if resolve_tracing(getattr(args, "trace", None)):
+            root = Path(
+                args.cache_dir
+                if args.cache_dir is not None
+                else default_cache_dir()
+            )
+            tracer = Tracer(root, scenario.name)
         return CampaignRunner(
             scenario,
             cache_dir=args.cache_dir,
@@ -112,8 +138,9 @@ def _runner(scenario: Scenario, args: argparse.Namespace) -> CampaignRunner:
             persist=not args.no_cache,
             cache_backend=args.cache_backend,
             profile=getattr(args, "profile", False),
+            tracer=tracer,
         )
-    except ValueError as exc:  # e.g. --workers -1
+    except ValueError as exc:  # e.g. --workers -1, junk REPRO_TRACE
         raise SystemExit(f"error: {exc}") from None
 
 
@@ -342,15 +369,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
     _emit(_result_report(result), result.to_payload(), args.format)
     if args.format != "json":
         where = "in memory" if args.no_cache else f"cache {runner.cache.root}"
-        print(
+        console(
             f"\nunits: {result.total_units} total, "
             f"{result.cached_units} from cache, "
             f"{result.computed_units} computed ({where})"
         )
         if runner.profile_path is not None:
-            print(f"profile: {runner.profile_path}")
+            console(f"profile: {runner.profile_path}")
         elif args.profile:
-            print("profile: nothing to profile (every unit was cached)")
+            console("profile: nothing to profile (every unit was cached)")
+        if runner.tracer is not None:
+            console(
+                f"trace: {runner.tracer.path} "
+                f"(inspect with: python -m repro report {scenario.name})"
+            )
     return 0
 
 
@@ -373,7 +405,7 @@ def _cmd_status(args: argparse.Namespace) -> int:
         if status.complete
         else f"{status.pending_units} unit(s) pending"
     )
-    print(
+    console(
         f"{status.scenario} [{status.scenario_hash}]: "
         f"{status.cached_units}/{status.total_units} units cached -- {state}"
     )
@@ -458,6 +490,14 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     try:
         policy = AdaptivePolicy(**policy_fields)
     except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    try:
+        if resolve_tracing(getattr(args, "trace", None)):
+            _log.warning(
+                "tracing covers the run and compare verbs only; "
+                "validate runs untraced"
+            )
+    except ValueError as exc:  # junk REPRO_TRACE
         raise SystemExit(f"error: {exc}") from None
 
     report = ValidationReport(strict=args.strict)
@@ -585,7 +625,7 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
                 _human_bytes(s.bytes),
             )
     print(report.render())
-    print(
+    console(
         f"\ntotal: {entries} unit(s), {_human_bytes(n_bytes)} "
         f"across {namespaces} scenario namespace(s)"
     )
@@ -600,7 +640,7 @@ def _cmd_cache_prune(args: argparse.Namespace) -> int:
     stores = _cache_stores(args)
     if args.all:
         removed = sum(store.prune() for store in stores)
-        print(f"pruned {removed} unit(s) (everything)")
+        console(f"pruned {removed} unit(s) (everything)")
         return 0
     # A name may own several namespaces (overridden trials, seeds, old
     # schema versions) in either layout; prune every namespace whose
@@ -626,10 +666,124 @@ def _cmd_cache_prune(args: argparse.Namespace) -> int:
             f"error: no cached namespace is named {args.scenario!r}; "
             f"cached scenarios: {', '.join(sorted(known)) or '(none)'}"
         )
-    print(
+    console(
         f"pruned {removed} unit(s) from {namespaces} namespace(s) "
         f"of {args.scenario!r}"
     )
+    return 0
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds < 1.0:
+        return f"{seconds * 1000:.1f} ms"
+    return f"{seconds:.2f} s"
+
+
+def _report_table(summary: dict) -> ExperimentReport:
+    """One traced run's diagnostics as a renderable table."""
+    report = ExperimentReport(
+        f"{summary['scenario']} -- run {summary['run_id']}",
+        headers=("metric", "value", "detail", "note"),
+    )
+    cache = summary["cache"]
+    rate = cache["hit_rate"]
+    report.add(
+        "cache hit rate",
+        "n/a" if rate is None else f"{rate:.0%}",
+        f"{cache['hits']} hit / {cache['computed']} computed",
+        f"{cache['total']} unit span(s)",
+    )
+    for stage, stats in summary["stages"].items():
+        report.add(
+            f"{stage} latency",
+            f"p50 {_fmt_seconds(stats['p50_s'])}",
+            f"p90 {_fmt_seconds(stats['p90_s'])} / "
+            f"p99 {_fmt_seconds(stats['p99_s'])}",
+            f"{stats['count']} unit(s), total {_fmt_seconds(stats['total_s'])}",
+        )
+    workers = summary["workers"]
+    utilization = workers["utilization"]
+    wall = workers["execute_wall_s"]
+    report.add(
+        "worker utilization",
+        "n/a" if utilization is None else f"{utilization:.0%}",
+        f"{len(workers['observed_pids'])} pid(s) observed, "
+        f"{workers['effective']} effective",
+        ""
+        if wall is None
+        else f"busy {_fmt_seconds(workers['busy_s'])} "
+        f"/ wall {_fmt_seconds(wall)}",
+    )
+    report.add(
+        "result bytes",
+        _human_bytes(summary["bytes"]["results"]),
+        "computed-unit payloads",
+        "",
+    )
+    for entry in summary["slowest"]:
+        coords = entry["coords"] or {}
+        detail = ", ".join(
+            f"{key}={value}" for key, value in coords.items() if key != "kind"
+        )
+        report.add(
+            "slowest unit",
+            _fmt_seconds(entry["exec_s"]),
+            detail or str(entry["key"]),
+            f"pid {entry['pid']}",
+        )
+    return report
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    root = Path(
+        args.cache_dir if args.cache_dir is not None else default_cache_dir()
+    )
+    runs = find_runs(root, scenario=args.scenario)
+    if not runs:
+        raise SystemExit(
+            f"error: no traced runs of {args.scenario!r} under "
+            f"{runs_root(root)}; run it with --trace (or REPRO_TRACE=1) first"
+        )
+    if args.run_id is not None:
+        matches = [r for r in runs if r.run_id == args.run_id]
+        if not matches:
+            known = ", ".join(r.run_id for r in runs[-5:])
+            raise SystemExit(
+                f"error: no traced run {args.run_id!r} of "
+                f"{args.scenario!r}; most recent: {known}"
+            )
+        info = matches[0]
+    else:
+        info = runs[-1]
+    try:
+        manifest, events = load_trace(info.path)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: unreadable trace {info.path}: {exc}") from None
+    summary = summarize_run(manifest, events, slowest=args.slowest)
+    if args.format == "json":
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    report = _report_table(summary)
+    print(
+        report.render_markdown()
+        if args.format == "markdown"
+        else report.render()
+    )
+    backends = (
+        f"workers={manifest.get('workers')} "
+        f"transport={manifest.get('transport')} "
+        f"accel={manifest.get('accel_backend')} "
+        f"cache={manifest.get('cache_backend')}"
+    )
+    console(
+        f"\nmanifest: kind={manifest.get('kind')} "
+        f"seed={manifest.get('seed')} {backends}"
+    )
+    if manifest.get("forced_serial"):
+        console("note: --profile forced serial evaluation for this run")
+    if summary["summary"] is None:
+        console("note: no summary event -- the run was interrupted mid-trace")
+    console(f"trace: {info.path}")
     return 0
 
 
@@ -668,11 +822,26 @@ def _add_override_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_log_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--log-level", choices=LOG_LEVELS, default=None,
+        help="diagnostic verbosity on stderr (default: REPRO_LOG, "
+             "else warning)",
+    )
+
+
 def _add_execution_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers", type=int, default=None,
         help="worker processes (default: REPRO_WORKERS, else serial)",
     )
+    parser.add_argument(
+        "--trace", action=argparse.BooleanOptionalAction, default=None,
+        help="write a structured JSONL trace (manifest + one span per "
+             "unit) to <cache>/runs/<run_id>/trace.jsonl; --no-trace "
+             "overrides REPRO_TRACE=1 (never changes results)",
+    )
+    _add_log_args(parser)
     parser.add_argument(
         "--cache-dir", default=None,
         help=f"result cache root (default: REPRO_CACHE_DIR or {default_cache_dir()})",
@@ -735,6 +904,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="result store layout (default: REPRO_CACHE_BACKEND)",
     )
     _add_override_args(p_status)
+    _add_log_args(p_status)
     p_status.set_defaults(func=_cmd_status)
 
     p_cmp = sub.add_parser(
@@ -812,6 +982,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-backend", choices=BACKENDS, default=None,
         help="result store layout (default: REPRO_CACHE_BACKEND)",
     )
+    _add_log_args(p_cache_stats)
     p_cache_stats.set_defaults(func=_cmd_cache_stats)
 
     p_cache_prune = cache_sub.add_parser(
@@ -831,13 +1002,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-backend", choices=BACKENDS, default=None,
         help="result store layout (default: REPRO_CACHE_BACKEND)",
     )
+    _add_log_args(p_cache_prune)
     p_cache_prune.set_defaults(func=_cmd_cache_prune)
+
+    p_report = sub.add_parser(
+        "report",
+        help="diagnostics from a traced run: latency percentiles, cache "
+             "hit rate, worker utilization, slowest units",
+    )
+    p_report.add_argument("scenario", help="registered scenario name")
+    p_report.add_argument(
+        "--run-id", default=None,
+        help="report a specific run (default: the scenario's latest trace)",
+    )
+    p_report.add_argument(
+        "--cache-dir", default=None,
+        help=f"result cache root holding runs/ (default: REPRO_CACHE_DIR "
+             f"or {default_cache_dir()})",
+    )
+    p_report.add_argument(
+        "--format", choices=("text", "markdown", "json"), default="text",
+        help="report format (default: text)",
+    )
+    p_report.add_argument(
+        "--slowest", type=int, default=5,
+        help="how many slowest units to list (default: 5)",
+    )
+    _add_log_args(p_report)
+    p_report.set_defaults(func=_cmd_report)
 
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        configure_logging(getattr(args, "log_level", None))
+    except ValueError as exc:  # junk REPRO_LOG
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if getattr(args, "accel", None) is not None:
         try:
             accel.set_backend(args.accel)
@@ -847,9 +1050,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return args.func(args)
     except KeyboardInterrupt:
-        print(
-            "\ninterrupted -- completed units are cached; "
-            "re-run to resume from where this stopped",
-            file=sys.stderr,
+        _log.warning(
+            "interrupted -- completed units are cached; "
+            "re-run to resume from where this stopped"
         )
         return 130

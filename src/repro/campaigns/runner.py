@@ -22,13 +22,17 @@ campaign reproduces the figure sweeps number for number.
 from __future__ import annotations
 
 import cProfile
+import json
+import platform
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
+from repro.accel import resolve_backend as resolve_accel_backend
 from repro.campaigns.cache import ResultCache, default_cache_dir, unit_hash
-from repro.campaigns.spec import Scenario
+from repro.campaigns.spec import SCHEMA_VERSION, Scenario
 from repro.channel.geometry import TestbedGeometry
 from repro.experiments.sweeps import (
     AttackChunkSpec,
@@ -39,6 +43,9 @@ from repro.experiments.sweeps import (
 from repro.fleet.cohort import cohort_from_scenario
 from repro.fleet.metrics import FleetAccumulator
 from repro.fleet.runner import FleetChunkSpec, run_fleet_chunk
+from repro.obs.log import get_logger
+from repro.obs.metrics import ObsAccumulator, take_global
+from repro.obs.trace import Tracer, git_revision
 from repro.runtime import SweepExecutor, chunk_sizes
 from repro.runtime.seeding import round_seed_sequence, unit_seed_sequence
 from repro.stats.adaptive import PHYSIO_MOMENT_KEYS
@@ -48,6 +55,8 @@ from repro.stats.adaptive import PHYSIO_MOMENT_KEYS
 #: seconds (resume granularity, pool balance), large enough that the
 #: per-unit cache overhead vanishes against 10^4-10^6 patients.
 DEFAULT_FLEET_SHARD = 100
+
+_log = get_logger("campaigns")
 
 __all__ = [
     "CampaignRunner",
@@ -537,8 +546,17 @@ class CampaignRunner:
         run finishes.  Profiling forces the units through the serial
         in-process path (a subprocess pool would leave the profiler
         watching pickling, not the actual kernels); worker count is
-        ignored for the profiled units.  Numbers are unaffected --
-        serial and parallel runs are bit-identical by contract.
+        ignored for the profiled units -- the override is logged as a
+        warning and recorded in the trace manifest (``forced_serial``).
+        Numbers are unaffected -- serial and parallel runs are
+        bit-identical by contract.
+    tracer:
+        A started-for-this-run :class:`~repro.obs.trace.Tracer` (or
+        ``None``, the default: no tracing, no overhead).  When given,
+        the run writes a manifest plus one span per work unit to
+        ``runs/<run_id>/trace.jsonl`` under the tracer's root.
+        Tracing never enters cache keys, RNG streams, or results: a
+        traced run is bit-identical to an untraced one.
     """
 
     def __init__(
@@ -549,12 +567,14 @@ class CampaignRunner:
         persist: bool = True,
         cache_backend: str | None = None,
         profile: bool = False,
+        tracer: Tracer | None = None,
     ):
         self.scenario = scenario
         self.executor = SweepExecutor(workers)
         self.persist = persist
         self.profile = profile
         self.profile_path: Path | None = None
+        self.tracer = tracer
         self._cache_root = Path(
             cache_dir if cache_dir is not None else default_cache_dir()
         )
@@ -596,7 +616,19 @@ class CampaignRunner:
         whole plan materializes; calling this repeatedly (or across
         interrupted processes) converges to a fully cached campaign.
         """
-        _, _, computed = self._execute(limit=limit, force=force, collect=False)
+        tracer = self._active_tracer()
+        try:
+            units, _, computed = self._execute(
+                limit=limit, force=force, collect=False
+            )
+        except BaseException:
+            if tracer is not None:
+                tracer.finish(interrupted=True)
+            raise
+        if tracer is not None:
+            tracer.finish(
+                total_units=len(units), computed_units=computed
+            )
         return computed
 
     def run(self, force: bool = False) -> CampaignResult:
@@ -606,39 +638,142 @@ class CampaignRunner:
         per batch, so an interrupt resumes); ``force=True`` ignores and
         overwrites existing cache entries.
         """
-        units, results, computed = self._execute(
-            limit=None, force=force, collect=True
-        )
-        assert results is not None
-        cached = len(units) - computed
-        points = self._reduce(units, [results[u.key] for u in units])
-        return CampaignResult(
-            scenario=self.scenario,
-            points=points,
-            total_units=len(units),
-            cached_units=cached,
-            computed_units=computed,
-        )
+        tracer = self._active_tracer()
+        try:
+            units, results, computed = self._execute(
+                limit=None, force=force, collect=True
+            )
+            assert results is not None
+            cached = len(units) - computed
+            reduce_start = time.perf_counter()
+            points = self._reduce(units, [results[u.key] for u in units])
+            if tracer is not None:
+                tracer.emit(
+                    "phase",
+                    name="reduce",
+                    seconds=time.perf_counter() - reduce_start,
+                    units=len(units),
+                )
+                tracer.finish(
+                    total_units=len(units),
+                    cached_units=cached,
+                    computed_units=computed,
+                )
+            return CampaignResult(
+                scenario=self.scenario,
+                points=points,
+                total_units=len(units),
+                cached_units=cached,
+                computed_units=computed,
+            )
+        except BaseException:
+            # An interrupted traced run still leaves a readable trace
+            # (manifest + whatever spans were buffered).
+            if tracer is not None:
+                tracer.finish(interrupted=True)
+            raise
+
+    def _active_tracer(self) -> Tracer | None:
+        """The run's tracer, or ``None`` once it has already closed."""
+        if self.tracer is not None and not self.tracer.finished:
+            return self.tracer
+        return None
+
+    def _manifest(self, total_units: int, forced_serial: bool) -> dict:
+        """The run manifest: what ran, resolved how, at which versions."""
+        from repro import __version__ as package_version
+
+        try:
+            accel_backend = resolve_accel_backend()
+        except RuntimeError:
+            # REPRO_ACCEL names a backend this interpreter cannot
+            # import; the failure surfaces where kernels dispatch, not
+            # in the manifest write.
+            accel_backend = "unresolved"
+        scenario = self.scenario
+        return {
+            "scenario": scenario.name,
+            "scenario_hash": scenario.scenario_hash(),
+            "kind": scenario.kind,
+            "seed": scenario.seed,
+            "n_trials": scenario.n_trials,
+            "grid_size": scenario.grid_size(),
+            "total_units": total_units,
+            "workers": self.executor.workers,
+            "effective_workers": 1 if forced_serial else self.executor.workers,
+            "forced_serial": forced_serial,
+            "profile": self.profile,
+            "transport": self.executor.transport,
+            "accel_backend": accel_backend,
+            "cache_backend": (
+                self.cache.backend if self.cache is not None else None
+            ),
+            "cache_root": str(self._cache_root),
+            "persist": self.persist,
+            "schema_version": SCHEMA_VERSION,
+            "package_version": package_version,
+            "git_revision": git_revision(),
+            "python_version": platform.python_version(),
+            "numpy_version": np.__version__,
+        }
 
     def _execute(
         self, limit: int | None, force: bool, collect: bool
     ) -> tuple[list[CampaignUnit], dict[str, dict] | None, int]:
         """Shared engine of :meth:`materialize` and :meth:`run`."""
+        tracer = self._active_tracer()
+        if tracer is not None and not tracer.started:
+            # Metrics accumulated before this run (imports, other
+            # campaigns in-process) are not this run's story; reset
+            # before the first instrumented call (the cache scan).
+            take_global()
+        plan_start = time.perf_counter()
         units = self.plan()
+        plan_seconds = time.perf_counter() - plan_start
         results: dict[str, dict] = {}
         pending: list[CampaignUnit] = []
+        hits: list[tuple[CampaignUnit, float]] = []
+        load_seconds = 0.0
         for unit in units:
-            cached = (
-                None
-                if (force or self.cache is None)
-                else self.cache.get(self.scenario, unit.key)
-            )
+            if force or self.cache is None:
+                cached = None
+            else:
+                load_start = time.perf_counter()
+                cached = self.cache.get(self.scenario, unit.key)
+                load_seconds = time.perf_counter() - load_start
             if cached is not None:
                 results[unit.key] = cached
+                if tracer is not None:
+                    hits.append((unit, load_seconds))
             else:
                 pending.append(unit)
         if limit is not None:
             pending = pending[:limit]
+        forced_serial = bool(
+            self.profile and pending and self.executor.parallel
+        )
+        if forced_serial:
+            _log.warning(
+                "--profile forces serial unit evaluation: ignoring "
+                "workers=%d for %d pending unit(s) of %s",
+                self.executor.workers,
+                len(pending),
+                self.scenario.name,
+            )
+        if tracer is not None:
+            if not tracer.started:
+                tracer.start_run(self._manifest(len(units), forced_serial))
+            tracer.emit(
+                "phase", name="plan", seconds=plan_seconds, units=len(units)
+            )
+            for unit, hit_load_s in hits:
+                tracer.emit(
+                    "unit",
+                    key=unit.key,
+                    coords=unit.coords,
+                    status="hit",
+                    load_s=hit_load_s,
+                )
         computed = 0
         # Streaming submission: results arrive in unit order as they
         # complete, and each is flushed to the cache immediately -- an
@@ -651,27 +786,69 @@ class CampaignRunner:
             # pickling.  Serial evaluation is bit-identical by contract.
             executor = SweepExecutor(1)
             profiler = cProfile.Profile()
-        streamed = executor.imap(
-            evaluate_unit, [u.spec for u in pending]
-        )
+        run_metrics = ObsAccumulator() if tracer is not None else None
+        specs = [u.spec for u in pending]
+        execute_start = time.perf_counter()
+        submit_mono = time.monotonic()
+        if tracer is not None:
+            streamed = executor.imap_observed(evaluate_unit, specs)
+        else:
+            streamed = (
+                (result, None) for result in executor.imap(evaluate_unit, specs)
+            )
         if profiler is not None:
             profiler.enable()
         try:
-            for unit, result in zip(pending, streamed):
+            for unit, (result, obs) in zip(pending, streamed):
                 if profiler is not None:
                     profiler.disable()
+                flush_start = time.perf_counter()
                 if self.cache is not None:
                     self.cache.put(
                         self.scenario, unit.key, unit.coords, result
                     )
+                flush_seconds = time.perf_counter() - flush_start
                 results[unit.key] = result
                 computed += 1
+                if tracer is not None and obs is not None:
+                    run_metrics.merge_payload(obs["metrics"])
+                    tracer.emit(
+                        "unit",
+                        key=unit.key,
+                        coords=unit.coords,
+                        status="computed",
+                        # monotonic clocks are comparable across
+                        # processes on Linux; clamp for platforms where
+                        # they are not.
+                        queue_s=max(0.0, obs["start_mono"] - submit_mono),
+                        exec_s=obs["exec_s"],
+                        flush_s=flush_seconds,
+                        pid=obs["pid"],
+                        result_bytes=len(
+                            json.dumps(
+                                result, sort_keys=True, separators=(",", ":")
+                            )
+                        ),
+                    )
                 if profiler is not None:
                     profiler.enable()
         finally:
             if profiler is not None:
                 profiler.disable()
                 self.profile_path = self._dump_profile(profiler)
+            if tracer is not None:
+                tracer.emit(
+                    "phase",
+                    name="execute",
+                    seconds=time.perf_counter() - execute_start,
+                    units=len(pending),
+                    workers=1 if forced_serial else executor.workers,
+                )
+                # Worker deltas rode back per unit; fold in whatever the
+                # parent process itself accumulated (cache IO, serial
+                # evaluation, transport encodes).
+                run_metrics.merge_payload(take_global())
+                tracer.emit("metrics", metrics=run_metrics.to_payload())
         if not collect:
             return units, None, computed
         missing = [u.key for u in units if u.key not in results]

@@ -32,9 +32,12 @@ from __future__ import annotations
 import json
 import os
 import sqlite3
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Protocol, runtime_checkable
+
+from repro.obs.metrics import counter_inc, timing_observe
 
 __all__ = [
     "BACKENDS",
@@ -179,15 +182,25 @@ class FilesystemStore:
 
     def get(self, scenario_hash: str, key: str) -> dict | None:
         path = self._unit_path(scenario_hash, key)
+        start = time.perf_counter()
         try:
-            payload = json.loads(path.read_text())
+            text = path.read_text()
+            payload = json.loads(text)
         # ValueError covers JSONDecodeError and UnicodeDecodeError alike:
         # any unreadable entry (truncated write, disk corruption, stray
         # binary) must look absent, never crash the resume.
         except (OSError, ValueError):
+            counter_inc("store.filesystem.get_miss")
             return None
+        finally:
+            timing_observe(
+                "store.filesystem.get", time.perf_counter() - start
+            )
         if not isinstance(payload, dict) or "result" not in payload:
+            counter_inc("store.filesystem.get_miss")
             return None
+        counter_inc("store.filesystem.get_hit")
+        counter_inc("store.filesystem.read_bytes", len(text))
         return payload["result"]
 
     def put(
@@ -198,6 +211,7 @@ class FilesystemStore:
         result: dict,
         manifest: dict | None = None,
     ) -> None:
+        start = time.perf_counter()
         directory = self.scenario_dir(scenario_hash)
         directory.mkdir(parents=True, exist_ok=True)
         if manifest is not None:
@@ -205,8 +219,12 @@ class FilesystemStore:
         payload = {"coords": coords, "result": result}
         path = self._unit_path(scenario_hash, key)
         tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1) + "\n")
+        text = json.dumps(payload, sort_keys=True, indent=1) + "\n"
+        tmp.write_text(text)
         os.replace(tmp, path)
+        counter_inc("store.filesystem.put")
+        counter_inc("store.filesystem.write_bytes", len(text))
+        timing_observe("store.filesystem.put", time.perf_counter() - start)
 
     def cached_keys(self, scenario_hash: str, keys: Iterable[str]) -> set[str]:
         """Membership from ONE directory listing, not a stat per key.
@@ -379,7 +397,9 @@ class SQLiteStore:
         # must work under a read-only parent); OSError covers the
         # mkdir/open failures sqlite3.Error does not.
         if self._conn is None and not self.path.exists():
+            counter_inc("store.sqlite.get_miss")
             return None
+        start = time.perf_counter()
         try:
             row = self._connect().execute(
                 "SELECT result FROM units"
@@ -387,14 +407,24 @@ class SQLiteStore:
                 (scenario_hash, key),
             ).fetchone()
         except (sqlite3.Error, OSError):
+            counter_inc("store.sqlite.get_miss")
             return None
+        finally:
+            timing_observe("store.sqlite.get", time.perf_counter() - start)
         if row is None:
+            counter_inc("store.sqlite.get_miss")
             return None
         try:
             result = json.loads(row[0])
         except ValueError:
+            counter_inc("store.sqlite.get_miss")
             return None
-        return result if isinstance(result, dict) else None
+        if not isinstance(result, dict):
+            counter_inc("store.sqlite.get_miss")
+            return None
+        counter_inc("store.sqlite.get_hit")
+        counter_inc("store.sqlite.read_bytes", len(row[0]))
+        return result
 
     def put(
         self,
@@ -404,7 +434,9 @@ class SQLiteStore:
         result: dict,
         manifest: dict | None = None,
     ) -> None:
+        start = time.perf_counter()
         conn = self._connect()
+        result_text = json.dumps(result, sort_keys=True)
         with conn:  # one transaction: the upsert is atomic
             if manifest is not None:
                 conn.execute(
@@ -422,9 +454,12 @@ class SQLiteStore:
                     scenario_hash,
                     key,
                     json.dumps(coords, sort_keys=True),
-                    json.dumps(result, sort_keys=True),
+                    result_text,
                 ),
             )
+        counter_inc("store.sqlite.put")
+        counter_inc("store.sqlite.write_bytes", len(result_text))
+        timing_observe("store.sqlite.put", time.perf_counter() - start)
 
     def cached_keys(self, scenario_hash: str, keys: Iterable[str]) -> set[str]:
         if self._conn is None and not self.path.exists():

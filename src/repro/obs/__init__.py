@@ -1,0 +1,80 @@
+"""Observability: structured tracing, mergeable run metrics, reports.
+
+The execution stack (sweep executor, campaign runner, result stores,
+payload transport, kernel dispatch) runs 10^4-patient fleets across
+process pools -- and, until this package, ran them blind: no logging,
+no per-unit timing, no cache hit/miss accounting, no record of which
+backend a run actually resolved.  This package is the runtime's eyes:
+
+* :mod:`repro.obs.log` -- the stack's :mod:`logging` surface
+  (``REPRO_LOG`` / ``--log-level``) plus the byte-stable stdout
+  console channel the CLI's diagnostics route through;
+* :mod:`repro.obs.metrics` -- lightweight *mergeable* counter/timing
+  accumulators (the same order-invariant reduction shape as
+  :mod:`repro.fleet.metrics`): instrumented code records into a
+  process-local accumulator, workers ship per-unit deltas back through
+  the normal result path, and merges reproduce one serial pass's
+  totals regardless of worker count or arrival order;
+* :mod:`repro.obs.trace` -- :class:`Tracer`, the span-based JSONL
+  emitter: one run manifest (scenario hash, seed, resolved
+  accel/transport/cache backends, worker count, versions) plus one
+  span per work unit (queue -> execute -> flush timings, cache
+  hit/miss, worker pid, payload bytes) written to
+  ``<cache>/runs/<run_id>/trace.jsonl``;
+* :mod:`repro.obs.report` -- the ``python -m repro report`` analysis:
+  per-stage latency percentiles, cache hit rate, worker utilization,
+  bytes moved, slowest units.
+
+Hard invariant: observability never enters cache keys, RNG seeds, or
+golden verdicts.  A traced run is bit-identical to an untraced one --
+tracing only measures the same numbers appearing (enforced by
+``tests/test_obs_trace.py``).
+"""
+
+from repro.obs.log import (
+    LOG_ENV,
+    configure_logging,
+    console,
+    get_logger,
+    resolve_log_level,
+)
+from repro.obs.metrics import (
+    ObsAccumulator,
+    Timing,
+    counter_inc,
+    observed_call,
+    take_global,
+    timed,
+    timing_observe,
+)
+from repro.obs.report import find_runs, load_trace, summarize_run
+from repro.obs.trace import (
+    TRACE_ENV,
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    resolve_tracing,
+    runs_root,
+)
+
+__all__ = [
+    "LOG_ENV",
+    "ObsAccumulator",
+    "TRACE_ENV",
+    "TRACE_SCHEMA_VERSION",
+    "Timing",
+    "Tracer",
+    "configure_logging",
+    "console",
+    "counter_inc",
+    "find_runs",
+    "get_logger",
+    "load_trace",
+    "observed_call",
+    "resolve_log_level",
+    "resolve_tracing",
+    "runs_root",
+    "summarize_run",
+    "take_global",
+    "timed",
+    "timing_observe",
+]

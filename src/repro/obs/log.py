@@ -1,0 +1,129 @@
+"""The runtime's :mod:`logging` surface.
+
+Everything in the execution stack logs through
+``logging.getLogger("repro.<area>")`` via :func:`get_logger`; the CLI
+(and any embedding application) calls :func:`configure_logging` once to
+attach a stderr handler and set the level from ``--log-level`` or the
+``REPRO_LOG`` environment variable (default: warnings only, so library
+use stays silent).
+
+Two channels, two streams:
+
+* *diagnostics* (``get_logger(...)``) go to **stderr** with a
+  ``LEVEL name: message`` prefix -- warnings about forced overrides,
+  debug traces of backend resolution, progress chatter;
+* the *console* (:func:`console`) is the CLI's user-facing stdout
+  channel: bare messages, always emitted, rendered byte-identically to
+  the ``print`` calls it replaces -- existing stdout-asserting tests
+  (and anything parsing the CLI) see exactly the same bytes.
+
+Handlers resolve ``sys.stderr`` / ``sys.stdout`` *at emit time*, never
+capturing the stream object at configure time -- pytest's ``capsys``
+and any stream-swapping harness keep working.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+__all__ = [
+    "LOG_ENV",
+    "LOG_LEVELS",
+    "configure_logging",
+    "console",
+    "get_logger",
+    "resolve_log_level",
+]
+
+#: Environment variable selecting the diagnostic log level.
+LOG_ENV = "REPRO_LOG"
+
+#: Accepted level names (the ``--log-level`` choices).
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+#: Logger namespace roots: diagnostics under ``repro``, the console
+#: channel on its own non-propagating node so bare stdout lines never
+#: duplicate onto the stderr handler.
+_ROOT = "repro"
+_CONSOLE = "repro.cli.console"
+
+
+class _DynamicStreamHandler(logging.StreamHandler):
+    """A stream handler bound to the *name* ``sys.stdout``/``sys.stderr``.
+
+    Resolving the stream per emit keeps log output correct under
+    test-harness stream capture and late redirection.
+    """
+
+    def __init__(self, stream_name: str):
+        self._stream_name = stream_name
+        super().__init__()
+
+    @property
+    def stream(self):
+        return getattr(sys, self._stream_name)
+
+    @stream.setter
+    def stream(self, value):  # StreamHandler.__init__ assigns; ignore it
+        pass
+
+
+def resolve_log_level(level: str | None = None) -> int:
+    """The diagnostic level to run at (flag > ``REPRO_LOG`` > warning)."""
+    if level is None:
+        level = os.environ.get(LOG_ENV, "").strip().lower() or "warning"
+    level = level.strip().lower()
+    if level not in LOG_LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; "
+            f"expected one of {', '.join(LOG_LEVELS)} "
+            f"(set via --log-level or {LOG_ENV})"
+        )
+    return getattr(logging, level.upper())
+
+
+def configure_logging(level: str | None = None) -> None:
+    """Attach the handlers (idempotent) and set the diagnostic level.
+
+    Safe to call repeatedly -- later calls only adjust the level, so a
+    test or embedding app can re-tune without stacking handlers.
+    """
+    root = logging.getLogger(_ROOT)
+    if not any(isinstance(h, _DynamicStreamHandler) for h in root.handlers):
+        handler = _DynamicStreamHandler("stderr")
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        root.addHandler(handler)
+    root.setLevel(resolve_log_level(level))
+
+    chan = logging.getLogger(_CONSOLE)
+    if not any(isinstance(h, _DynamicStreamHandler) for h in chan.handlers):
+        handler = _DynamicStreamHandler("stdout")
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        chan.addHandler(handler)
+    # The console is user-facing output, not diagnostics: always on,
+    # never forwarded to the stderr handler.
+    chan.setLevel(logging.INFO)
+    chan.propagate = False
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A diagnostic logger under the ``repro`` namespace."""
+    return logging.getLogger(f"{_ROOT}.{name}" if name else _ROOT)
+
+
+def console(message: str) -> None:
+    """Emit one user-facing CLI line to stdout, byte-identical to print.
+
+    The bare ``%(message)s`` format plus the handler's newline
+    terminator reproduce ``print(message)`` exactly, while routing
+    through :mod:`logging` so embedding applications can intercept,
+    silence, or redirect the CLI's output like any other log stream.
+    """
+    chan = logging.getLogger(_CONSOLE)
+    if not chan.handlers:
+        configure_logging()
+    chan.info(message)

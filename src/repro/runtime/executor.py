@@ -18,6 +18,7 @@ from contextlib import contextmanager
 from functools import partial
 from typing import Callable, Iterable, Iterator, TypeVar
 
+from repro.obs.metrics import counter_inc, observed_call
 from repro.runtime.transport import (
     DEFAULT_MIN_BYTES,
     decode_payload,
@@ -127,6 +128,7 @@ class SweepExecutor:
         if not self.parallel or self._pool is not None:
             yield self
             return
+        counter_inc("executor.pool_sessions")
         self._pool = ProcessPoolExecutor(max_workers=self.workers)
         try:
             yield self
@@ -156,9 +158,11 @@ class SweepExecutor:
         """
         units = list(units)
         if not self.parallel or len(units) <= 1:
+            counter_inc("executor.serial_units", len(units))
             for unit in units:
                 yield fn(unit)
             return
+        counter_inc("executor.pool_units", len(units))
         fn, units = self._apply_transport(fn, units)
         if self._pool is not None:  # inside a pool_session
             for result in self._pool.map(fn, units, chunksize=self.chunksize):
@@ -168,6 +172,25 @@ class SweepExecutor:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             for result in pool.map(fn, units, chunksize=self.chunksize):
                 yield decode_payload(result)
+
+    def imap_observed(
+        self, fn: Callable[[T], R], units: Iterable[T]
+    ) -> Iterator[tuple[R, dict]]:
+        """:meth:`imap`, yielding ``(result, observation)`` pairs.
+
+        Each unit is evaluated through
+        :func:`repro.obs.metrics.observed_call`, so the observation
+        carries the worker's pid, monotonic start, execute seconds,
+        and the worker's metrics delta -- shipped back through the
+        exact result path :meth:`imap` uses (same pickling, same
+        shared-memory transport, same submission order), which is what
+        keeps serial and parallel observability output identical in
+        shape.  Results themselves are untouched: evaluation order,
+        RNG streams, and values match :meth:`imap` bit for bit.
+        """
+        wrapped = partial(observed_call, fn)
+        for envelope in self.imap(wrapped, units):
+            yield envelope["result"], envelope["obs"]
 
     def _apply_transport(
         self, fn: Callable[[T], R], units: list[T]

@@ -42,6 +42,8 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro.obs.metrics import counter_inc
+
 __all__ = [
     "DEFAULT_MIN_BYTES",
     "TRANSPORTS",
@@ -144,7 +146,10 @@ def encode_payload(obj, min_bytes: int = DEFAULT_MIN_BYTES):
     lifted: list[np.ndarray] = []
     body = _strip(obj, lifted)
     if not lifted or sum(a.nbytes for a in lifted) < min_bytes:
+        counter_inc("transport.pickle_payloads")
         return obj
+    counter_inc("transport.shm_payloads")
+    counter_inc("transport.shm_bytes", sum(a.nbytes for a in lifted))
     refs = []
     try:
         for array in lifted:
@@ -174,6 +179,7 @@ def decode_payload(obj):
     """
     if not isinstance(obj, ShmEncoded):
         return obj
+    counter_inc("transport.shm_decoded")
     arrays: list[np.ndarray] = []
     for ref in obj.arrays:
         block = shared_memory.SharedMemory(name=ref.name)

@@ -1,0 +1,302 @@
+"""Tests for trace analysis (``repro report``) and the logging surface."""
+
+import json
+import logging
+
+import pytest
+
+from repro.campaigns.cli import main
+from repro.obs.log import (
+    LOG_ENV,
+    configure_logging,
+    console,
+    get_logger,
+    resolve_log_level,
+)
+from repro.obs.report import find_runs, load_trace, summarize_run
+from repro.obs.trace import Tracer
+
+
+def _write_trace(cache_dir, scenario="demo", run_id=None, **manifest):
+    tracer = Tracer(cache_dir, scenario, run_id=run_id)
+    tracer.start_run({"scenario": scenario, **manifest})
+    return tracer
+
+
+class TestFindRuns:
+    def test_empty_root_finds_nothing(self, tmp_path):
+        assert find_runs(tmp_path) == []
+
+    def test_filters_by_scenario_and_orders_by_start(self, tmp_path):
+        first = _write_trace(
+            tmp_path, "alpha", run_id="one", started="2026-01-01"
+        )
+        first.finish()
+        second = _write_trace(tmp_path, "alpha", run_id="two")
+        second.finish()
+        other = _write_trace(tmp_path, "beta", run_id="three")
+        other.finish()
+        runs = find_runs(tmp_path, scenario="alpha")
+        assert [r.run_id for r in runs] == ["one", "two"]
+        assert runs[-1].manifest["scenario"] == "alpha"
+        assert [r.run_id for r in find_runs(tmp_path)] == [
+            "one", "two", "three",
+        ]
+
+    def test_skips_unreadable_traces(self, tmp_path):
+        good = _write_trace(tmp_path, "alpha", run_id="good")
+        good.finish()
+        bad = tmp_path / "runs" / "bad"
+        bad.mkdir(parents=True)
+        (bad / "trace.jsonl").write_text("not json\n")
+        assert [r.run_id for r in find_runs(tmp_path)] == ["good"]
+
+
+class TestLoadTrace:
+    def test_round_trips_manifest_and_events(self, tmp_path):
+        tracer = _write_trace(tmp_path, "demo", seed=3)
+        tracer.emit("unit", key="u1", status="computed", exec_s=0.5)
+        tracer.finish(total_units=1)
+        manifest, events = load_trace(tracer.path)
+        assert manifest["scenario"] == "demo"
+        assert manifest["seed"] == 3
+        assert [e["type"] for e in events] == ["unit", "summary"]
+
+    def test_tolerates_a_truncated_tail(self, tmp_path):
+        tracer = _write_trace(tmp_path, "demo")
+        tracer.emit("unit", key="u1", status="computed", exec_s=0.5)
+        tracer.finish()
+        with open(tracer.path, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "unit", "key": "torn')  # killed mid-write
+        manifest, events = load_trace(tracer.path)
+        assert len(events) == 2  # the torn line is skipped, not fatal
+
+    def test_missing_manifest_raises(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type": "unit", "key": "u1"}\n')
+        with pytest.raises(ValueError, match="manifest"):
+            load_trace(path)
+
+
+def _synthetic_run():
+    manifest = {
+        "type": "manifest",
+        "run_id": "demo-run",
+        "scenario": "demo",
+        "scenario_hash": "abc123",
+        "workers": 2,
+        "effective_workers": 2,
+    }
+    events = [
+        {"type": "phase", "name": "plan", "seconds": 0.001, "units": 4},
+        {"type": "unit", "key": "h1", "coords": {"chunk": 0},
+         "status": "hit", "load_s": 0.002},
+        {"type": "unit", "key": "c1", "coords": {"chunk": 1},
+         "status": "computed", "queue_s": 0.01, "exec_s": 0.5,
+         "flush_s": 0.004, "pid": 100, "result_bytes": 600},
+        {"type": "unit", "key": "c2", "coords": {"chunk": 2},
+         "status": "computed", "queue_s": 0.02, "exec_s": 1.5,
+         "flush_s": 0.006, "pid": 101, "result_bytes": 400},
+        {"type": "phase", "name": "execute", "seconds": 2.0, "units": 2,
+         "workers": 2},
+        {"type": "metrics",
+         "metrics": {"counters": {"store.put": 2}, "timings": {}}},
+        {"type": "metrics",
+         "metrics": {"counters": {"store.put": 1}, "timings": {}}},
+        {"type": "summary", "t": 2.1, "wall_s": 2.1, "total_units": 3},
+    ]
+    return manifest, events
+
+
+class TestSummarizeRun:
+    def test_cache_and_stage_summaries(self):
+        summary = summarize_run(*_synthetic_run())
+        assert summary["run_id"] == "demo-run"
+        assert summary["cache"] == {
+            "hits": 1, "computed": 2, "total": 3,
+            "hit_rate": pytest.approx(1 / 3),
+        }
+        execute = summary["stages"]["execute"]
+        assert execute["count"] == 2
+        assert execute["total_s"] == pytest.approx(2.0)
+        assert execute["p50_s"] == pytest.approx(1.0)
+        assert execute["max_s"] == pytest.approx(1.5)
+        assert summary["stages"]["load"]["count"] == 1
+        assert summary["bytes"]["results"] == 1000
+
+    def test_worker_utilization_against_execute_wall(self):
+        summary = summarize_run(*_synthetic_run())
+        workers = summary["workers"]
+        assert workers["configured"] == 2
+        assert workers["observed_pids"] == [100, 101]
+        assert workers["busy_s"] == pytest.approx(2.0)
+        # 2.0 busy seconds over 2 workers x 2.0 s wall = 50%.
+        assert workers["utilization"] == pytest.approx(0.5)
+
+    def test_utilization_uses_effective_workers_when_forced_serial(self):
+        manifest, events = _synthetic_run()
+        manifest["workers"] = 4
+        manifest["effective_workers"] = 1
+        workers = summarize_run(manifest, events)["workers"]
+        assert workers["utilization"] == pytest.approx(1.0)  # capped
+
+    def test_slowest_units_sorted_and_limited(self):
+        summary = summarize_run(*_synthetic_run(), slowest=1)
+        assert [u["key"] for u in summary["slowest"]] == ["c2"]
+        assert summary["slowest"][0]["exec_s"] == pytest.approx(1.5)
+
+    def test_metrics_events_merge(self):
+        summary = summarize_run(*_synthetic_run())
+        assert summary["metrics"]["counters"] == {"store.put": 3}
+
+    def test_interrupted_trace_has_no_summary(self):
+        manifest, events = _synthetic_run()
+        events = [e for e in events if e["type"] != "summary"]
+        summary = summarize_run(manifest, events)
+        assert summary["summary"] is None
+
+
+class TestReportCli:
+    def _traced_run(self, tmp_path):
+        assert main([
+            "run", "attack-success-shielded",
+            "--trials", "2", "--locations", "1",
+            "--cache-dir", str(tmp_path), "--trace", "--format", "json",
+        ]) == 0
+
+    def test_report_renders_the_diagnostics(self, capsys, tmp_path):
+        self._traced_run(tmp_path)
+        capsys.readouterr()
+        assert main(
+            ["report", "attack-success-shielded", "--cache-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cache hit rate" in out
+        assert "execute latency" in out
+        assert "worker utilization" in out
+        assert "slowest unit" in out
+        assert "manifest: kind=attack" in out
+        assert "trace: " in out
+
+    def test_report_json_payload(self, capsys, tmp_path):
+        self._traced_run(tmp_path)
+        capsys.readouterr()
+        assert main([
+            "report", "attack-success-shielded",
+            "--cache-dir", str(tmp_path), "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "attack-success-shielded"
+        assert payload["cache"]["computed"] == 1
+        assert payload["manifest"]["trace_schema"] == 1
+        assert "execute" in payload["stages"]
+
+    def test_report_selects_a_run_by_id(self, capsys, tmp_path):
+        self._traced_run(tmp_path)
+        self._traced_run(tmp_path)  # second run: all hits
+        capsys.readouterr()
+        from repro.obs.report import find_runs as _find
+
+        runs = _find(tmp_path, scenario="attack-success-shielded")
+        assert len(runs) == 2
+        assert main([
+            "report", "attack-success-shielded",
+            "--cache-dir", str(tmp_path),
+            "--run-id", runs[0].run_id, "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["run_id"] == runs[0].run_id
+        assert payload["cache"]["computed"] == 1  # the first (cold) run
+
+    def test_latest_run_is_the_default(self, capsys, tmp_path):
+        self._traced_run(tmp_path)
+        self._traced_run(tmp_path)
+        capsys.readouterr()
+        assert main([
+            "report", "attack-success-shielded",
+            "--cache-dir", str(tmp_path), "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache"]["hits"] == 1  # the warm second run
+
+    def test_no_traced_runs_exits_with_guidance(self, tmp_path):
+        with pytest.raises(SystemExit, match="--trace"):
+            main([
+                "report", "attack-success-shielded",
+                "--cache-dir", str(tmp_path),
+            ])
+
+    def test_unknown_run_id_exits_with_error(self, tmp_path):
+        self._traced_run(tmp_path)
+        with pytest.raises(SystemExit, match="no traced run"):
+            main([
+                "report", "attack-success-shielded",
+                "--cache-dir", str(tmp_path), "--run-id", "nope",
+            ])
+
+
+class TestLogging:
+    def test_resolve_log_level_precedence(self, monkeypatch):
+        monkeypatch.delenv(LOG_ENV, raising=False)
+        assert resolve_log_level() == logging.WARNING
+        monkeypatch.setenv(LOG_ENV, "debug")
+        assert resolve_log_level() == logging.DEBUG
+        assert resolve_log_level("error") == logging.ERROR  # flag wins
+
+    def test_junk_level_raises(self, monkeypatch):
+        monkeypatch.setenv(LOG_ENV, "loud")
+        with pytest.raises(ValueError, match="loud"):
+            resolve_log_level()
+
+    def test_configure_is_idempotent(self):
+        configure_logging("info")
+        configure_logging("info")
+        root = logging.getLogger("repro")
+        handlers = [h for h in root.handlers]
+        assert len(handlers) == 1
+        configure_logging()  # back to the default level
+
+    def test_get_logger_namespaces_under_repro(self):
+        assert get_logger("campaigns").name == "repro.campaigns"
+        assert get_logger().name == "repro"
+
+    def test_console_is_byte_identical_to_print(self, capsys):
+        print("reference line")
+        reference = capsys.readouterr().out
+        console("reference line")
+        assert capsys.readouterr().out == reference
+
+    def test_console_stays_off_stderr(self, capsys):
+        configure_logging("debug")
+        console("stdout only")
+        captured = capsys.readouterr()
+        assert captured.out == "stdout only\n"
+        assert captured.err == ""
+        configure_logging()
+
+    def test_diagnostics_go_to_stderr(self, capsys):
+        configure_logging("info")
+        get_logger("cli").info("diagnostic line")
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "INFO repro.cli: diagnostic line" in captured.err
+        configure_logging()
+
+    def test_cli_log_level_flag_raises_verbosity(self, capsys, tmp_path):
+        assert main([
+            "status", "attack-success-shielded",
+            "--cache-dir", str(tmp_path), "--log-level", "debug",
+        ]) == 0
+        assert logging.getLogger("repro").level == logging.DEBUG
+        configure_logging()
+
+    def test_cli_junk_log_env_exits_with_error(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(LOG_ENV, "loud")
+        assert main([
+            "status", "attack-success-shielded", "--cache-dir", str(tmp_path),
+        ]) == 2
+        assert "error" in capsys.readouterr().err
+        monkeypatch.delenv(LOG_ENV)
+        configure_logging()
