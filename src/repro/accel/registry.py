@@ -112,7 +112,10 @@ def resolve_backend(choice: str | None = None) -> str:
     if choice is None:
         choice = _FORCED
     if choice is None:
-        choice = os.environ.get(ACCEL_ENV, "").strip().lower() or "auto"
+        choice = os.environ.get(ACCEL_ENV, "")
+    # Explicit choices and environment values are normalized
+    # identically, so ``backend=" NUMPY "`` works like REPRO_ACCEL.
+    choice = choice.strip().lower() or "auto"
     if choice not in CHOICES:
         raise ValueError(
             f"unknown accel backend {choice!r}; "

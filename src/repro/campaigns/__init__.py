@@ -21,9 +21,14 @@ budget.  This package makes that space declarative and operable:
   compiles a scenario into :class:`~repro.runtime.SweepExecutor` work
   units and reduces cached + fresh results to bit-identical numbers in
   any execution order;
+* :mod:`repro.campaigns.queue` / :mod:`repro.campaigns.worker` -- the
+  lease-based distributed work queue living inside the SQLite store:
+  ``run --distributed`` plans units into it, any number of ``python -m
+  repro worker`` processes sharing the cache root drain it crash-safely
+  (see ``docs/distributed.md``);
 * :mod:`repro.campaigns.cli` -- the ``python -m repro`` command
-  (``list`` / ``run`` / ``status`` / ``compare`` / ``validate`` /
-  ``cache``).
+  (``list`` / ``run`` / ``worker`` / ``status`` / ``compare`` /
+  ``validate`` / ``cache`` / ``report``).
 
 The registry also carries the *golden-figure expectation table*
 (:func:`registry.expectations_for`): declarative
@@ -42,6 +47,7 @@ name.
 from repro.campaigns import registry
 from repro.campaigns.cache import ResultCache, default_cache_dir
 from repro.campaigns.store import FilesystemStore, ResultStore, SQLiteStore
+from repro.campaigns.queue import WorkQueue, supports_queue
 from repro.campaigns.runner import (
     CampaignResult,
     CampaignRunner,
@@ -51,6 +57,7 @@ from repro.campaigns.runner import (
     plan_scenario_units,
 )
 from repro.campaigns.spec import Scenario
+from repro.campaigns.worker import WorkerStats, run_worker
 
 __all__ = [
     "CampaignResult",
@@ -62,8 +69,12 @@ __all__ = [
     "ResultStore",
     "SQLiteStore",
     "Scenario",
+    "WorkQueue",
+    "WorkerStats",
     "default_cache_dir",
     "evaluate_unit",
     "plan_scenario_units",
     "registry",
+    "run_worker",
+    "supports_queue",
 ]

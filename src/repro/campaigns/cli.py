@@ -1,6 +1,6 @@
 """The ``python -m repro`` command-line interface.
 
-Seven subcommands operate the campaign subsystem::
+Eight subcommands operate the campaign subsystem::
 
     python -m repro list                         # what can be run
     python -m repro run attack-success-shielded  # run (resumes from cache)
@@ -9,6 +9,13 @@ Seven subcommands operate the campaign subsystem::
     python -m repro validate                     # golden-figure check
     python -m repro cache stats                  # cache usage / cleanup
     python -m repro report attack-success-shielded  # trace diagnostics
+    python -m repro worker fleet-attack-prevalence  # drain the work queue
+
+``run --distributed`` plans a campaign into the SQLite cache's work
+queue and waits while ``worker`` processes -- any number, on any
+machine sharing the cache root -- claim, evaluate, and persist units
+under expiring leases; the reduced numbers are bit-identical to a
+serial run (see docs/distributed.md).
 
 ``run``, ``compare``, and ``validate`` emit text (default), markdown,
 or JSON via :class:`repro.experiments.report.ExperimentReport`, so
@@ -364,8 +371,40 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     scenario = _apply_overrides(_resolve(args.scenario), args)
+    if args.distributed:
+        if args.no_cache:
+            raise SystemExit(
+                "error: --distributed needs the shared cache "
+                "(drop --no-cache)"
+            )
+        if args.force:
+            raise SystemExit(
+                "error: --force is not supported with --distributed; "
+                "prune the scenario's cache namespace instead "
+                "(python -m repro cache prune --scenario ...)"
+            )
+        if args.profile:
+            raise SystemExit(
+                "error: --profile profiles in-process evaluation; "
+                "with --distributed the units run in worker processes "
+                "(profile a worker run instead)"
+            )
+        if args.workers is not None:
+            _log.warning(
+                "--workers is ignored with --distributed: parallelism "
+                "comes from how many `python -m repro worker` processes "
+                "share the cache root"
+            )
     runner = _runner(scenario, args)
-    result = runner.run(force=args.force)
+    if args.distributed:
+        try:
+            result = runner.run_distributed(
+                wait_timeout_s=args.wait_timeout
+            )
+        except (ValueError, RuntimeError) as exc:
+            raise SystemExit(f"error: {exc}") from None
+    else:
+        result = runner.run(force=args.force)
     _emit(_result_report(result), result.to_payload(), args.format)
     if args.format != "json":
         where = "in memory" if args.no_cache else f"cache {runner.cache.root}"
@@ -383,6 +422,51 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"trace: {runner.tracer.path} "
                 f"(inspect with: python -m repro report {scenario.name})"
             )
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.campaigns.worker import default_worker_id, run_worker
+
+    scenario = _apply_overrides(_resolve(args.scenario), args)
+    worker_id = args.worker_id or default_worker_id()
+    tracer = None
+    try:
+        if resolve_tracing(getattr(args, "trace", None)):
+            root = Path(
+                args.cache_dir
+                if args.cache_dir is not None
+                else default_cache_dir()
+            )
+            tracer = Tracer(root, f"{scenario.name}-worker-{worker_id}")
+        stats = run_worker(
+            scenario,
+            cache_dir=args.cache_dir,
+            cache_backend=args.cache_backend,
+            worker_id=worker_id,
+            lease_s=args.lease,
+            poll_s=args.poll,
+            idle_timeout_s=(
+                args.idle_timeout if args.idle_timeout > 0 else None
+            ),
+            max_units=args.max_units,
+            tracer=tracer,
+        )
+    except ValueError as exc:  # e.g. filesystem backend, junk REPRO_TRACE
+        raise SystemExit(f"error: {exc}") from None
+    console(
+        f"worker {stats.worker_id}: {stats.claimed} claim(s), "
+        f"{stats.computed} computed, {stats.reused} already cached, "
+        f"{stats.lease_lost} lease(s) lost"
+    )
+    if tracer is not None:
+        console(f"trace: {tracer.path}")
+    if stats.idle_timeout:
+        console(
+            "exited on idle timeout with uncached units remaining "
+            "(another worker may hold live leases)"
+        )
+        return 3
     return 0
 
 
@@ -714,6 +798,18 @@ def _report_table(summary: dict) -> ExperimentReport:
         else f"busy {_fmt_seconds(workers['busy_s'])} "
         f"/ wall {_fmt_seconds(wall)}",
     )
+    per_worker = workers.get("per_worker") or {}
+    if len(per_worker) > 1:
+        # A distributed (or pooled) run: show how the units actually
+        # spread across the fleet.
+        for label in sorted(per_worker):
+            stats = per_worker[label]
+            report.add(
+                f"worker {label}",
+                f"{stats['units']} unit(s)",
+                f"busy {_fmt_seconds(stats['busy_s'])}",
+                "",
+            )
     report.add(
         "result bytes",
         _human_bytes(summary["bytes"]["results"]),
@@ -891,9 +987,74 @@ def build_parser() -> argparse.ArgumentParser:
              "profiles/<scenario>.pstats next to the cache root "
              "(forces serial evaluation of the profiled units)",
     )
+    p_run.add_argument(
+        "--distributed", action="store_true",
+        help="coordinate through the SQLite work queue: plan and enqueue "
+             "units, wait for `python -m repro worker` processes to drain "
+             "them, then reduce (bit-identical to a serial run)",
+    )
+    p_run.add_argument(
+        "--wait-timeout", type=float, default=None,
+        help="with --distributed: give up after this many seconds without "
+             "campaign completion (default: wait forever)",
+    )
     _add_override_args(p_run)
     _add_execution_args(p_run)
     p_run.set_defaults(func=_cmd_run)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="drain a scenario's distributed work queue: claim -> "
+             "evaluate -> persist -> complete under an expiring lease",
+    )
+    p_worker.add_argument("scenario", help="registered scenario name")
+    p_worker.add_argument(
+        "--worker-id", default=None,
+        help="fleet-unique worker identity (default: <hostname>-<pid>)",
+    )
+    p_worker.add_argument(
+        "--lease", type=float, default=60.0,
+        help="lease duration in seconds; a crashed worker's unit is "
+             "re-queued once its lease expires (default: 60)",
+    )
+    p_worker.add_argument(
+        "--poll", type=float, default=0.5,
+        help="seconds between claim attempts when the queue is empty "
+             "but units are still leased elsewhere (default: 0.5)",
+    )
+    p_worker.add_argument(
+        "--idle-timeout", type=float, default=600.0,
+        help="exit (status 3) after this many seconds without claimable "
+             "work while units remain uncached; 0 or less polls forever "
+             "(default: 600)",
+    )
+    p_worker.add_argument(
+        "--max-units", type=int, default=None,
+        help="stop after this many claims (default: run until the "
+             "campaign is fully cached)",
+    )
+    p_worker.add_argument(
+        "--cache-dir", default=None,
+        help=f"shared cache root (default: REPRO_CACHE_DIR or "
+             f"{default_cache_dir()})",
+    )
+    p_worker.add_argument(
+        "--cache-backend", choices=BACKENDS, default=None,
+        help="result store layout; the work queue needs sqlite "
+             "(default: REPRO_CACHE_BACKEND)",
+    )
+    p_worker.add_argument(
+        "--trace", action=argparse.BooleanOptionalAction, default=None,
+        help="write this worker's spans to its own "
+             "<cache>/runs/<run_id>/trace.jsonl",
+    )
+    p_worker.add_argument(
+        "--accel", choices=accel.CHOICES, default=None,
+        help="kernel backend (default: REPRO_ACCEL, else auto)",
+    )
+    _add_override_args(p_worker)
+    _add_log_args(p_worker)
+    p_worker.set_defaults(func=_cmd_worker)
 
     p_status = sub.add_parser("status", help="cache completeness of a scenario")
     p_status.add_argument("scenario", help="registered scenario name")

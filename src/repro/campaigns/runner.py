@@ -673,6 +673,131 @@ class CampaignRunner:
                 tracer.finish(interrupted=True)
             raise
 
+    def run_distributed(
+        self,
+        poll_s: float = 0.5,
+        wait_timeout_s: float | None = None,
+    ) -> CampaignResult:
+        """Coordinate the campaign through the shared work queue.
+
+        Plans the scenario, enqueues every pending unit into the cache
+        file's queue tables, then *waits* -- evaluation happens in
+        ``python -m repro worker`` processes (any number, any machine
+        sharing the cache root) that claim, compute, persist, and
+        complete units.  Once every planned key is cached the results
+        are loaded and reduced exactly like :meth:`run`: same plan,
+        same unit keys, same RNG streams, so the reduced numbers are
+        bit-identical to a serial run.
+
+        ``wait_timeout_s`` bounds the wait (``None`` waits forever);
+        on timeout the queue state is left intact so workers can keep
+        draining it and a later coordinator can finish the reduce.
+        """
+        if self.cache is None:
+            raise ValueError(
+                "distributed execution requires a persistent cache "
+                "(persist=True)"
+            )
+        from repro.campaigns.queue import WorkQueue
+
+        scenario_hash = self.scenario.scenario_hash()
+        queue = WorkQueue(self.cache.store, scenario_hash)
+        tracer = self._active_tracer()
+        try:
+            if tracer is not None and not tracer.started:
+                take_global()
+            plan_start = time.perf_counter()
+            units = self.plan()
+            plan_seconds = time.perf_counter() - plan_start
+            keys = [u.key for u in units]
+            cached = self.cache.cached_keys(self.scenario, keys)
+            pending = [u for u in units if u.key not in cached]
+            enqueue_start = time.perf_counter()
+            enqueued = queue.enqueue(pending)
+            enqueue_seconds = time.perf_counter() - enqueue_start
+            if tracer is not None:
+                if not tracer.started:
+                    manifest = self._manifest(
+                        len(units), forced_serial=False
+                    )
+                    manifest["distributed"] = True
+                    tracer.start_run(manifest)
+                tracer.emit(
+                    "phase", name="plan", seconds=plan_seconds,
+                    units=len(units),
+                )
+                tracer.emit(
+                    "phase", name="enqueue", seconds=enqueue_seconds,
+                    units=len(pending), new=enqueued,
+                )
+            _log.info(
+                "distributed %s: %d units planned, %d cached, %d queued "
+                "(%d newly); start workers with: python -m repro worker %s "
+                "--cache-dir %s --cache-backend %s",
+                self.scenario.name, len(units), len(cached), len(pending),
+                enqueued, self.scenario.name, self._cache_root,
+                self.cache.backend,
+            )
+            wait_start = time.perf_counter()
+            done = set(cached)
+            while len(done) < len(keys):
+                waited = time.perf_counter() - wait_start
+                if wait_timeout_s is not None and waited > wait_timeout_s:
+                    counts = queue.counts()
+                    raise RuntimeError(
+                        f"distributed campaign {self.scenario.name} timed "
+                        f"out after {waited:.0f}s: {len(keys) - len(done)} "
+                        f"of {len(keys)} units pending ({counts.queued} "
+                        f"queued, {counts.leased} leased); are workers "
+                        f"running? (python -m repro worker "
+                        f"{self.scenario.name} --cache-dir "
+                        f"{self._cache_root} --cache-backend "
+                        f"{self.cache.backend})"
+                    )
+                time.sleep(poll_s)
+                done = self.cache.cached_keys(self.scenario, keys)
+            wait_seconds = time.perf_counter() - wait_start
+            if tracer is not None:
+                tracer.emit(
+                    "phase", name="wait", seconds=wait_seconds,
+                    units=len(pending),
+                )
+            results: dict[str, dict] = {}
+            for unit in units:
+                result = self.cache.get(self.scenario, unit.key)
+                if result is None:
+                    raise RuntimeError(
+                        f"unit {unit.key} of {self.scenario.name} vanished "
+                        "from the cache between completion and reduce"
+                    )
+                results[unit.key] = result
+            reduce_start = time.perf_counter()
+            points = self._reduce(units, [results[u.key] for u in units])
+            if tracer is not None:
+                tracer.emit(
+                    "phase", name="reduce",
+                    seconds=time.perf_counter() - reduce_start,
+                    units=len(units),
+                )
+                tracer.emit("metrics", metrics=take_global())
+                tracer.finish(
+                    total_units=len(units),
+                    cached_units=len(cached),
+                    computed_units=len(pending),
+                    distributed=True,
+                )
+            return CampaignResult(
+                scenario=self.scenario,
+                points=points,
+                total_units=len(units),
+                cached_units=len(cached),
+                computed_units=len(pending),
+            )
+        except BaseException:
+            if tracer is not None:
+                tracer.finish(interrupted=True)
+            raise
+
     def _active_tracer(self) -> Tracer | None:
         """The run's tracer, or ``None`` once it has already closed."""
         if self.tracer is not None and not self.tracer.finished:

@@ -37,7 +37,10 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Protocol, runtime_checkable
 
+from repro.obs.log import get_logger
 from repro.obs.metrics import counter_inc, timing_observe
+
+_log = get_logger("store")
 
 __all__ = [
     "BACKENDS",
@@ -63,13 +66,13 @@ def resolve_backend(backend: str | None = None) -> str:
 
     Explicit ``backend`` wins; otherwise ``REPRO_CACHE_BACKEND`` from
     the environment; otherwise the filesystem layout (the historical
-    default -- existing caches keep working untouched).
+    default -- existing caches keep working untouched).  Both paths are
+    normalized identically (stripped, lowercased): ``backend="SQLite"``
+    and ``REPRO_CACHE_BACKEND=SQLite`` select the same store.
     """
     if backend is None:
-        raw = os.environ.get(CACHE_BACKEND_ENV, "").strip()
-        if not raw:
-            return "filesystem"
-        backend = raw
+        backend = os.environ.get(CACHE_BACKEND_ENV, "")
+    backend = backend.strip().lower() or "filesystem"
     if backend not in BACKENDS:
         raise ValueError(
             f"unknown cache backend {backend!r}; expected one of {BACKENDS} "
@@ -346,6 +349,14 @@ class SQLiteStore:
     every write is one transaction, so a SIGKILL mid-run loses at most
     the in-flight unit, exactly like the filesystem backend's atomic
     rename.
+
+    Two further tables back distributed execution
+    (:mod:`repro.campaigns.queue`): ``queue`` holds the planned units a
+    campaign fanned out, ``leases`` the in-flight claims.  A claim is
+    decided by a single ``INSERT OR IGNORE`` into ``leases`` -- two
+    workers racing for one unit are resolved by the database's primary
+    key, never by clock comparison in Python -- and an expired lease
+    (crashed worker) is reaped and re-claimable by anyone.
     """
 
     backend = "sqlite"
@@ -353,6 +364,9 @@ class SQLiteStore:
     #: File name inside the cache root (shares the root with any
     #: filesystem-backend namespaces without colliding).
     FILENAME = "results.sqlite"
+
+    #: One retry, after this pause, when a read hits SQLITE_BUSY.
+    BUSY_RETRY_S = 0.05
 
     def __init__(self, root: Path | str):
         self.root = Path(root)
@@ -380,6 +394,27 @@ class SQLiteStore:
                 " scenario_hash TEXT PRIMARY KEY,"
                 " manifest TEXT NOT NULL)"
             )
+            # Distributed-execution tables (repro.campaigns.queue):
+            # planned-but-not-reduced units, and in-flight claims.  The
+            # IF NOT EXISTS upgrades pre-existing caches in place.
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS queue ("
+                " scenario_hash TEXT NOT NULL,"
+                " unit_key TEXT NOT NULL,"
+                " coords TEXT NOT NULL,"
+                " enqueued_at REAL NOT NULL,"
+                " attempts INTEGER NOT NULL DEFAULT 0,"
+                " PRIMARY KEY (scenario_hash, unit_key))"
+            )
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS leases ("
+                " scenario_hash TEXT NOT NULL,"
+                " unit_key TEXT NOT NULL,"
+                " worker_id TEXT NOT NULL,"
+                " acquired_at REAL NOT NULL,"
+                " expires_at REAL NOT NULL,"
+                " PRIMARY KEY (scenario_hash, unit_key))"
+            )
             conn.commit()
             self._conn = conn
         return self._conn
@@ -401,13 +436,18 @@ class SQLiteStore:
             return None
         start = time.perf_counter()
         try:
-            row = self._connect().execute(
-                "SELECT result FROM units"
-                " WHERE scenario_hash = ? AND unit_key = ?",
-                (scenario_hash, key),
-            ).fetchone()
-        except (sqlite3.Error, OSError):
-            counter_inc("store.sqlite.get_miss")
+            row = self._read_unit_row(scenario_hash, key)
+        except (sqlite3.Error, OSError) as exc:
+            # A locked or corrupt database is NOT a cache miss: the
+            # unit will recompute either way, but a silent miss hides
+            # the store failure behind an inflated miss rate.  Count it
+            # apart and say so.
+            counter_inc("store.sqlite.get_error")
+            _log.warning(
+                "sqlite read failed for unit %s/%s: %s "
+                "(recomputing the unit; check %s)",
+                scenario_hash, key, exc, self.path,
+            )
             return None
         finally:
             timing_observe("store.sqlite.get", time.perf_counter() - start)
@@ -417,14 +457,46 @@ class SQLiteStore:
         try:
             result = json.loads(row[0])
         except ValueError:
-            counter_inc("store.sqlite.get_miss")
-            return None
+            result = None
         if not isinstance(result, dict):
-            counter_inc("store.sqlite.get_miss")
+            # A present-but-unreadable entry means tampering or disk
+            # corruption (writes are transactional) -- an error, not a
+            # miss.
+            counter_inc("store.sqlite.get_error")
+            _log.warning(
+                "corrupt cache entry for unit %s/%s in %s "
+                "(recomputing the unit)",
+                scenario_hash, key, self.path,
+            )
             return None
         counter_inc("store.sqlite.get_hit")
         counter_inc("store.sqlite.read_bytes", len(row[0]))
         return result
+
+    def _read_unit_row(self, scenario_hash: str, key: str):
+        """One unit's row, retrying once when the database is busy.
+
+        WAL keeps readers from blocking the writer, but a concurrent
+        checkpoint (or a non-WAL copy of the file) can still surface
+        SQLITE_BUSY past the driver's timeout; one short-fuse retry
+        absorbs the transient case before :meth:`get` reports an error.
+        """
+        query = (
+            "SELECT result FROM units"
+            " WHERE scenario_hash = ? AND unit_key = ?"
+        )
+        try:
+            return self._connect().execute(
+                query, (scenario_hash, key)
+            ).fetchone()
+        except sqlite3.OperationalError as exc:
+            if not _is_busy(exc):
+                raise
+            counter_inc("store.sqlite.busy_retry")
+            time.sleep(self.BUSY_RETRY_S)
+            return self._connect().execute(
+                query, (scenario_hash, key)
+            ).fetchone()
 
     def put(
         self,
@@ -534,6 +606,8 @@ class SQLiteStore:
                 )
                 conn.execute("DELETE FROM units")
                 conn.execute("DELETE FROM scenarios")
+                conn.execute("DELETE FROM queue")
+                conn.execute("DELETE FROM leases")
             else:
                 removed = 0
                 for scenario_hash in scenario_hashes:
@@ -542,10 +616,11 @@ class SQLiteStore:
                         (scenario_hash,),
                     )
                     removed += cur.rowcount
-                    conn.execute(
-                        "DELETE FROM scenarios WHERE scenario_hash = ?",
-                        (scenario_hash,),
-                    )
+                    for table in ("scenarios", "queue", "leases"):
+                        conn.execute(
+                            f"DELETE FROM {table} WHERE scenario_hash = ?",
+                            (scenario_hash,),
+                        )
         # DELETE alone leaves the file (and the WAL, which holds the
         # unmerged pages until a checkpoint) at full size; the verb
         # exists to reclaim disk, so rewrite the database and truncate
@@ -554,6 +629,180 @@ class SQLiteStore:
             conn.execute("VACUUM")
             conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
         return removed
+
+    # -- distributed work queue (repro.campaigns.queue) ----------------
+
+    def queue_enqueue(
+        self,
+        scenario_hash: str,
+        entries: Iterable[tuple[str, str]],
+        now: float,
+    ) -> int:
+        """Record planned units as claimable work (idempotent).
+
+        ``entries`` are ``(unit_key, coords_json)`` pairs.  ``INSERT OR
+        IGNORE`` makes re-enqueueing free, so every participant -- the
+        coordinator and each worker -- can enqueue the same
+        deterministic plan without coordination.  Returns how many rows
+        were actually new.
+        """
+        conn = self._connect()
+        with conn:
+            before = conn.total_changes
+            conn.executemany(
+                "INSERT OR IGNORE INTO queue"
+                " (scenario_hash, unit_key, coords, enqueued_at, attempts)"
+                " VALUES (?, ?, ?, ?, 0)",
+                [(scenario_hash, key, coords, now) for key, coords in entries],
+            )
+            added = conn.total_changes - before
+        if added:
+            counter_inc("queue.enqueued", added)
+        return added
+
+    def queue_claim(
+        self,
+        scenario_hash: str,
+        worker_id: str,
+        now: float,
+        expires_at: float,
+        candidates: int = 8,
+    ) -> tuple[str, str, int] | None:
+        """Claim one queued unit, or None when nothing is claimable.
+
+        Expired leases are reaped first (one atomic DELETE -- racing
+        reapers both succeed harmlessly), then the claim itself is a
+        single ``INSERT OR IGNORE`` into ``leases``: the table's
+        primary key, not any Python-side comparison, decides which of
+        two racing workers owns the unit.  Returns ``(unit_key,
+        coords_json, attempt)`` where ``attempt > 1`` marks a unit
+        re-queued after a lost or abandoned lease.
+
+        A claimed unit may already have a row in ``units`` (a previous
+        holder persisted its result but died before completing): the
+        claimant is expected to check the cache first and retire such
+        rows via :meth:`queue_complete` without recomputing.
+        """
+        conn = self._connect()
+        with conn:
+            reaped = conn.execute(
+                "DELETE FROM leases"
+                " WHERE scenario_hash = ? AND expires_at <= ?",
+                (scenario_hash, now),
+            ).rowcount
+        if reaped:
+            counter_inc("queue.leases_expired", reaped)
+        rows = conn.execute(
+            "SELECT q.unit_key, q.coords FROM queue q"
+            " WHERE q.scenario_hash = ?"
+            " AND NOT EXISTS (SELECT 1 FROM leases l"
+            "  WHERE l.scenario_hash = q.scenario_hash"
+            "  AND l.unit_key = q.unit_key)"
+            " ORDER BY q.enqueued_at, q.unit_key LIMIT ?",
+            (scenario_hash, candidates),
+        ).fetchall()
+        for unit_key, coords in rows:
+            with conn:
+                cur = conn.execute(
+                    "INSERT OR IGNORE INTO leases"
+                    " (scenario_hash, unit_key, worker_id,"
+                    "  acquired_at, expires_at)"
+                    " VALUES (?, ?, ?, ?, ?)",
+                    (scenario_hash, unit_key, worker_id, now, expires_at),
+                )
+                if cur.rowcount == 1:
+                    attempt = conn.execute(
+                        "UPDATE queue SET attempts = attempts + 1"
+                        " WHERE scenario_hash = ? AND unit_key = ?"
+                        " RETURNING attempts",
+                        (scenario_hash, unit_key),
+                    ).fetchone()[0]
+            if cur.rowcount == 1:
+                counter_inc("queue.claimed")
+                return unit_key, coords, int(attempt)
+            # Another worker won this candidate between the SELECT and
+            # our INSERT; try the next one.
+            counter_inc("queue.claim_lost")
+        return None
+
+    def lease_heartbeat(
+        self, scenario_hash: str, key: str, worker_id: str, expires_at: float
+    ) -> bool:
+        """Extend a held lease; False means it was lost (reaped/reclaimed)."""
+        conn = self._connect()
+        with conn:
+            cur = conn.execute(
+                "UPDATE leases SET expires_at = ?"
+                " WHERE scenario_hash = ? AND unit_key = ? AND worker_id = ?",
+                (expires_at, scenario_hash, key, worker_id),
+            )
+        renewed = cur.rowcount == 1
+        counter_inc(
+            "queue.heartbeats" if renewed else "queue.heartbeat_lost"
+        )
+        return renewed
+
+    def queue_complete(
+        self, scenario_hash: str, key: str, worker_id: str
+    ) -> None:
+        """Retire one unit: drop its queue row and any lease on it.
+
+        Completion is authoritative regardless of who holds the lease
+        -- the unit's result is already in ``units`` (the caller puts
+        before completing), and results are deterministic, so a
+        duplicate completion after a lost lease retires the same bytes.
+        """
+        conn = self._connect()
+        with conn:
+            conn.execute(
+                "DELETE FROM leases"
+                " WHERE scenario_hash = ? AND unit_key = ?",
+                (scenario_hash, key),
+            )
+            conn.execute(
+                "DELETE FROM queue"
+                " WHERE scenario_hash = ? AND unit_key = ?",
+                (scenario_hash, key),
+            )
+        counter_inc("queue.completed")
+
+    def queue_abandon(
+        self, scenario_hash: str, key: str, worker_id: str
+    ) -> bool:
+        """Release a held lease without completing (immediate re-queue)."""
+        conn = self._connect()
+        with conn:
+            cur = conn.execute(
+                "DELETE FROM leases"
+                " WHERE scenario_hash = ? AND unit_key = ? AND worker_id = ?",
+                (scenario_hash, key, worker_id),
+            )
+        released = cur.rowcount == 1
+        if released:
+            counter_inc("queue.abandoned")
+        return released
+
+    def queue_counts(
+        self, scenario_hash: str, now: float
+    ) -> tuple[int, int]:
+        """(outstanding queue rows, live leases) for one scenario."""
+        conn = self._connect()
+        queued = conn.execute(
+            "SELECT COUNT(*) FROM queue WHERE scenario_hash = ?",
+            (scenario_hash,),
+        ).fetchone()[0]
+        leased = conn.execute(
+            "SELECT COUNT(*) FROM leases"
+            " WHERE scenario_hash = ? AND expires_at > ?",
+            (scenario_hash, now),
+        ).fetchone()[0]
+        return int(queued), int(leased)
+
+
+def _is_busy(exc: sqlite3.OperationalError) -> bool:
+    """Whether an operational error is SQLITE_BUSY/SQLITE_LOCKED."""
+    message = str(exc).lower()
+    return "locked" in message or "busy" in message
 
 
 def make_store(root: Path | str, backend: str | None = None) -> ResultStore:

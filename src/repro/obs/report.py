@@ -151,17 +151,31 @@ def summarize_run(
         if samples:
             stages[stage] = _stage_summary(samples)
 
-    hits = sum(1 for u in units if u.get("status") == "hit")
+    # "reused" is a worker's cache hit: the unit was already persisted
+    # when it was claimed, so for hit-rate purposes it counts as one.
+    hits = sum(1 for u in units if u.get("status") in ("hit", "reused"))
     computed = sum(1 for u in units if u.get("status") == "computed")
     total = len(units)
 
     busy_by_pid: dict[int, float] = {}
+    per_worker: dict[str, dict] = {}
     for u in units:
-        if u.get("status") == "computed" and u.get("pid") is not None:
+        if u.get("status") != "computed":
+            continue
+        if u.get("pid") is not None:
             pid = int(u["pid"])
             busy_by_pid[pid] = busy_by_pid.get(pid, 0.0) + float(
                 u.get("exec_s", 0.0)
             )
+        # Distributed spans carry a worker id; single-process runs fall
+        # back to the pid so the breakdown exists either way.
+        label = u.get("worker") or u.get("pid")
+        if label is not None:
+            bucket = per_worker.setdefault(
+                str(label), {"units": 0, "busy_s": 0.0}
+            )
+            bucket["units"] += 1
+            bucket["busy_s"] += float(u.get("exec_s", 0.0))
     busy_s = sum(busy_by_pid.values())
     configured = int(manifest.get("workers", 1) or 1)
     # A --profile run ignores configured workers (forced serial); judge
@@ -213,6 +227,7 @@ def summarize_run(
             "busy_s": busy_s,
             "execute_wall_s": execute_wall,
             "utilization": utilization,
+            "per_worker": per_worker,
         },
         "bytes": {"results": result_bytes},
         "slowest": [

@@ -68,9 +68,15 @@ DEFAULT_MIN_BYTES = 1 << 16
 
 
 def resolve_transport(choice: str | None = None) -> str:
-    """The transport a sweep should use (flag > environment > auto)."""
+    """The transport a sweep should use (flag > environment > auto).
+
+    Explicit choices and environment values are normalized identically
+    (strip + lowercase), so ``--transport SHM`` behaves exactly like
+    ``REPRO_TRANSPORT=SHM``.
+    """
     if choice is None:
-        choice = os.environ.get(TRANSPORT_ENV, "").strip().lower() or "auto"
+        choice = os.environ.get(TRANSPORT_ENV, "")
+    choice = choice.strip().lower() or "auto"
     if choice not in TRANSPORTS:
         raise ValueError(
             f"unknown transport {choice!r}; "

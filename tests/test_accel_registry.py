@@ -64,6 +64,14 @@ class TestResolveBackend:
         monkeypatch.setenv(accel.ACCEL_ENV, "   ")
         assert accel.resolve_backend() in accel.BACKENDS
 
+    def test_explicit_choice_is_normalized_like_env(self):
+        """Regression: ``backend=" NUMPY "`` must equal REPRO_ACCEL=NUMPY."""
+        assert accel.resolve_backend(" NUMPY ") == "numpy"
+        assert accel.resolve_backend(" AUTO ") in accel.BACKENDS
+
+    def test_blank_explicit_choice_means_auto(self):
+        assert accel.resolve_backend("  ") in accel.BACKENDS
+
 
 class TestSetBackend:
     def test_validates_eagerly(self):

@@ -7,9 +7,13 @@ scenario, never a stat per key.
 """
 
 import json
+import logging
 import os
+import sqlite3
 
 import pytest
+
+from repro.obs.metrics import take_global
 
 from repro.campaigns.cache import ResultCache
 from repro.campaigns.spec import Scenario
@@ -458,3 +462,106 @@ class TestCacheCli:
             "--cache-dir", str(tmp_path),
         )
         assert (tmp_path / "results.sqlite").exists()
+
+
+class TestBackendNameNormalization:
+    """Explicit arguments get the same strip/lowercase the env does."""
+
+    def test_explicit_choice_is_normalized(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_BACKEND", raising=False)
+        assert resolve_backend(" SQLite ") == "sqlite"
+        assert resolve_backend("FILESYSTEM") == "filesystem"
+
+    def test_env_value_is_normalized(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_BACKEND", "  SQLITE\n")
+        assert resolve_backend() == "sqlite"
+
+    def test_blank_explicit_choice_falls_back_to_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_BACKEND", raising=False)
+        assert resolve_backend("   ") == "filesystem"
+
+
+class _FlakyConnection:
+    """Wraps a live connection, failing reads a set number of times."""
+
+    def __init__(self, conn, exc: Exception, failures: int):
+        self._conn = conn
+        self._exc = exc
+        self.failures = failures
+
+    def execute(self, query, *args):
+        if "SELECT result FROM units" in query and self.failures > 0:
+            self.failures -= 1
+            raise self._exc
+        return self._conn.execute(query, *args)
+
+    def __getattr__(self, name):
+        return getattr(self._conn, name)
+
+
+class TestSQLiteGetErrorHandling:
+    """The satellite fix: a failing read is an error, never a quiet miss."""
+
+    _BUSY = sqlite3.OperationalError("database is locked")
+
+    def _flaky_store(self, tmp_path, exc, failures):
+        store = SQLiteStore(tmp_path)
+        store.put("hash", "k", {}, {"wins": 3})
+        store.BUSY_RETRY_S = 0.0
+        store._conn = _FlakyConnection(store._conn, exc, failures)
+        return store
+
+    def test_busy_read_retries_once_and_succeeds(self, tmp_path):
+        store = self._flaky_store(tmp_path, self._BUSY, failures=1)
+        take_global()
+        assert store.get("hash", "k") == {"wins": 3}
+        counters = take_global().get("counters", {})
+        assert counters.get("store.sqlite.busy_retry") == 1
+        assert counters.get("store.sqlite.get_hit") == 1
+        assert "store.sqlite.get_error" not in counters
+
+    def test_persistent_busy_is_an_error_not_a_miss(self, tmp_path, caplog):
+        store = self._flaky_store(tmp_path, self._BUSY, failures=2)
+        take_global()
+        with caplog.at_level(logging.WARNING, logger="repro.store"):
+            assert store.get("hash", "k") is None
+        counters = take_global().get("counters", {})
+        assert counters.get("store.sqlite.get_error") == 1
+        assert counters.get("store.sqlite.busy_retry") == 1
+        assert "store.sqlite.get_miss" not in counters
+        assert any("sqlite read failed" in r.message for r in caplog.records)
+
+    def test_non_busy_error_is_not_retried(self, tmp_path, caplog):
+        exc = sqlite3.OperationalError("no such table: units")
+        store = self._flaky_store(tmp_path, exc, failures=1)
+        take_global()
+        with caplog.at_level(logging.WARNING, logger="repro.store"):
+            assert store.get("hash", "k") is None
+        counters = take_global().get("counters", {})
+        assert counters.get("store.sqlite.get_error") == 1
+        assert "store.sqlite.busy_retry" not in counters
+        # One failure was budgeted and it was not consumed by a retry.
+        assert store._conn.failures == 0
+
+    def test_corrupt_row_counts_as_error_and_warns(self, tmp_path, caplog):
+        store = SQLiteStore(tmp_path)
+        store.put("hash", "k", {}, {"x": 1})
+        store._connect().execute(
+            "UPDATE units SET result = '{ not json' WHERE unit_key = 'k'"
+        )
+        take_global()
+        with caplog.at_level(logging.WARNING, logger="repro.store"):
+            assert store.get("hash", "k") is None
+        counters = take_global().get("counters", {})
+        assert counters.get("store.sqlite.get_error") == 1
+        assert "store.sqlite.get_miss" not in counters
+        assert any("corrupt cache entry" in r.message for r in caplog.records)
+
+    def test_plain_miss_still_counts_as_miss(self, tmp_path):
+        store = SQLiteStore(tmp_path)
+        store.put("hash", "k", {}, {"x": 1})
+        take_global()
+        assert store.get("hash", "absent") is None
+        counters = take_global().get("counters", {})
+        assert counters.get("store.sqlite.get_miss") == 1
+        assert "store.sqlite.get_error" not in counters

@@ -41,6 +41,28 @@ class TestResolveTransport:
         with pytest.raises(ValueError, match="unknown transport"):
             resolve_transport()
 
+    def test_explicit_choice_is_normalized_like_env(self, monkeypatch):
+        """Regression: ``--transport SHM`` must equal REPRO_TRANSPORT=SHM.
+
+        The env path always stripped/lowercased; an explicit argument
+        used to skip normalization and reject the same spelling.
+        """
+        monkeypatch.delenv(TRANSPORT_ENV, raising=False)
+        assert resolve_transport(" SHM ") == "shm"
+        assert resolve_transport("PICKLE") == "pickle"
+        assert resolve_transport("Auto") == "auto"
+
+    def test_env_value_is_normalized(self, monkeypatch):
+        monkeypatch.setenv(TRANSPORT_ENV, "  SHM\t")
+        assert resolve_transport() == "shm"
+
+    def test_blank_explicit_choice_means_auto(self, monkeypatch):
+        monkeypatch.delenv(TRANSPORT_ENV, raising=False)
+        assert resolve_transport("   ") == "auto"
+
+    def test_executor_accepts_uppercase_transport(self):
+        assert SweepExecutor(1, transport="SHM").transport == "shm"
+
 
 class TestEncodeDecode:
     def test_bare_array_round_trips(self):
