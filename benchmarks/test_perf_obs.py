@@ -11,7 +11,10 @@ both against regression like every other hot path.
 
 from repro.campaigns.runner import CampaignRunner
 from repro.campaigns.spec import Scenario
+from repro.campaigns.store import SQLiteStore
+from repro.obs.history import load_history, record_run
 from repro.obs.metrics import counter_inc, observed_call, take_global
+from repro.obs.progress import ProgressPublisher
 from repro.obs.trace import Tracer
 
 #: The fleet workload both campaign benches run: a 100-patient physio
@@ -108,3 +111,51 @@ def test_perf_tracer_emit(benchmark, tmp_path):
 
     size = benchmark(run)
     assert size > 100_000
+
+
+def test_perf_progress_publish(benchmark, tmp_path):
+    """100 forced snapshot publishes through a shared SQLite store.
+
+    The live path workers hit between units: serialize one snapshot
+    dict, upsert one row.  Throttling normally caps this at one write
+    per interval; ``force=True`` benches the write itself.
+    """
+    store = SQLiteStore(tmp_path)
+    publisher = ProgressPublisher(
+        store, "bench-hash", "bench-worker",
+        role="worker", total_units=1_000, scenario="bench-obs-fleet",
+    )
+
+    def run():
+        written = 0
+        for _ in range(100):
+            publisher.advance(done=1, computed=1)
+            written += publisher.publish(force=True)
+        return written
+
+    written = benchmark(run)
+    assert written == 100
+    store.close()
+
+
+def test_perf_history_record(benchmark, tmp_path):
+    """Indexing one finished run into ``runs/history.jsonl``.
+
+    The cost every traced run pays at ``Tracer.finish``: re-read its
+    trace, summarize, append one fsynced JSON line.
+    """
+    tracer = Tracer(tmp_path, "bench-history", run_id="bench-history-run")
+    tracer.start_run({"scenario": "bench-history"})
+    for index in range(100):
+        tracer.emit(
+            "unit", key=f"unit-{index:04d}", status="computed",
+            queue_s=0.0, exec_s=0.001, flush_s=0.0001,
+        )
+    tracer.finish(total_units=100)
+
+    def run():
+        return record_run(tmp_path, tracer.run_dir)
+
+    entry = benchmark(run)
+    assert entry["run_id"] == "bench-history-run"
+    assert load_history(tmp_path)[-1]["run_id"] == "bench-history-run"

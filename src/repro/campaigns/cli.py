@@ -1,6 +1,6 @@
 """The ``python -m repro`` command-line interface.
 
-Eight subcommands operate the campaign subsystem::
+Twelve subcommands operate the campaign subsystem::
 
     python -m repro list                         # what can be run
     python -m repro run attack-success-shielded  # run (resumes from cache)
@@ -10,6 +10,10 @@ Eight subcommands operate the campaign subsystem::
     python -m repro cache stats                  # cache usage / cleanup
     python -m repro report attack-success-shielded  # trace diagnostics
     python -m repro worker fleet-attack-prevalence  # drain the work queue
+    python -m repro top fleet-attack-prevalence     # live campaign view
+    python -m repro export-metrics fleet-attack-prevalence  # Prometheus
+    python -m repro history fleet-attack-prevalence # recorded runs
+    python -m repro diff <run-a> <run-b>            # regression check
 
 ``run --distributed`` plans a campaign into the SQLite cache's work
 queue and waits while ``worker`` processes -- any number, on any
@@ -39,6 +43,14 @@ work unit -- to ``<cache>/runs/<run_id>/trace.jsonl``, which ``report``
 reduces to per-stage latency percentiles, cache hit rate, worker
 utilization, and the slowest units.  Tracing never changes results or
 cache contents (see docs/observability.md).
+
+Live observability rides the same cache root: runners and workers
+publish throttled progress snapshots (default on; ``--no-progress`` or
+``REPRO_PROGRESS=0`` silences them), ``top`` renders them alongside
+queue depth and stalled leases, ``export-metrics`` exposes the same
+state in Prometheus text format, and every traced run auto-records
+into ``<cache>/runs/history.jsonl`` for ``history`` and the
+regression-flagging ``diff``.
 """
 
 from __future__ import annotations
@@ -146,6 +158,7 @@ def _runner(scenario: Scenario, args: argparse.Namespace) -> CampaignRunner:
             cache_backend=args.cache_backend,
             profile=getattr(args, "profile", False),
             tracer=tracer,
+            progress=getattr(args, "progress", None),
         )
     except ValueError as exc:  # e.g. --workers -1, junk REPRO_TRACE
         raise SystemExit(f"error: {exc}") from None
@@ -426,7 +439,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
-    from repro.campaigns.worker import default_worker_id, run_worker
+    from repro.campaigns.worker import (
+        HeartbeatError,
+        default_worker_id,
+        run_worker,
+    )
 
     scenario = _apply_overrides(_resolve(args.scenario), args)
     worker_id = args.worker_id or default_worker_id()
@@ -451,7 +468,15 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             ),
             max_units=args.max_units,
             tracer=tracer,
+            progress=getattr(args, "progress", None),
         )
+    except HeartbeatError as exc:
+        # The shared store died under the heartbeat thread; the claim
+        # was abandoned (best effort).  Exit distinctly so supervisors
+        # can tell "store unreachable" (4) from "no work left" (3) and
+        # a clean drain (0).
+        print(f"error: {exc}", file=sys.stderr)
+        return 4
     except ValueError as exc:  # e.g. filesystem backend, junk REPRO_TRACE
         raise SystemExit(f"error: {exc}") from None
     console(
@@ -836,17 +861,55 @@ def _cmd_report(args: argparse.Namespace) -> int:
     )
     runs = find_runs(root, scenario=args.scenario)
     if not runs:
+        what = f"of {args.scenario!r} " if args.scenario else ""
         raise SystemExit(
-            f"error: no traced runs of {args.scenario!r} under "
-            f"{runs_root(root)}; run it with --trace (or REPRO_TRACE=1) first"
+            f"error: no traced runs {what}under "
+            f"{runs_root(root)}; run with --trace (or REPRO_TRACE=1) first"
         )
+    if args.list_runs:
+        if args.format == "json":
+            print(json.dumps(
+                [
+                    {
+                        "run_id": r.run_id,
+                        "scenario": r.manifest.get("scenario"),
+                        "role": r.manifest.get("role", "runner"),
+                        "started_at": r.manifest.get("started_at"),
+                    }
+                    for r in runs
+                ],
+                indent=2,
+                sort_keys=True,
+            ))
+            return 0
+        title = "traced runs" + (
+            f" of {args.scenario}" if args.scenario else ""
+        )
+        listing = ExperimentReport(
+            title, headers=("run id", "scenario", "role", "started")
+        )
+        for r in runs:
+            listing.add(
+                r.run_id,
+                str(r.manifest.get("scenario") or "?"),
+                str(r.manifest.get("role") or "runner"),
+                str(r.manifest.get("started_at") or "?"),
+            )
+        print(
+            listing.render_markdown()
+            if args.format == "markdown"
+            else listing.render()
+        )
+        console("\nreport one with:  python -m repro report --run-id <id>")
+        return 0
     if args.run_id is not None:
         matches = [r for r in runs if r.run_id == args.run_id]
         if not matches:
             known = ", ".join(r.run_id for r in runs[-5:])
+            what = f" of {args.scenario!r}" if args.scenario else ""
             raise SystemExit(
-                f"error: no traced run {args.run_id!r} of "
-                f"{args.scenario!r}; most recent: {known}"
+                f"error: no traced run {args.run_id!r}{what}; "
+                f"most recent: {known}"
             )
         info = matches[0]
     else:
@@ -880,6 +943,226 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if summary["summary"] is None:
         console("note: no summary event -- the run was interrupted mid-trace")
     console(f"trace: {info.path}")
+    return 0
+
+
+def _watch_cache(args: argparse.Namespace):
+    """The read-only cache the live verbs (top, export-metrics) poll."""
+    from repro.campaigns.cache import ResultCache
+
+    root = Path(
+        args.cache_dir if args.cache_dir is not None else default_cache_dir()
+    )
+    try:
+        return ResultCache(root, backend=args.cache_backend)
+    except ValueError as exc:  # e.g. a bad REPRO_CACHE_BACKEND
+        raise SystemExit(f"error: {exc}") from None
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.obs.top import render_status, scenario_status
+
+    if args.interval <= 0:
+        raise SystemExit(
+            f"error: --interval must be positive, got {args.interval}"
+        )
+    scenario = _apply_overrides(_resolve(args.scenario), args)
+    cache = _watch_cache(args)
+    # A TTY gets an ANSI-refreshed screen; pipes and CI logs get one
+    # plain block per poll, separated so the stream stays greppable.
+    is_tty = sys.stdout.isatty()
+    first = True
+    while True:
+        status = scenario_status(cache, scenario)
+        if args.json:
+            print(json.dumps(status, sort_keys=True), flush=True)
+        else:
+            if is_tty and not args.once:
+                sys.stdout.write("\x1b[2J\x1b[H")
+            elif not first:
+                print("---")
+            print("\n".join(render_status(status)), flush=True)
+        first = False
+        if args.once:
+            return 0
+        if status["complete"]:
+            return 0
+        _time.sleep(args.interval)
+
+
+def _cmd_export_metrics(args: argparse.Namespace) -> int:
+    from repro.obs.export import (
+        collect_metrics,
+        render_exposition,
+        serve_metrics,
+    )
+
+    scenario = _apply_overrides(_resolve(args.scenario), args)
+    cache = _watch_cache(args)
+    if args.serve is not None:
+        try:
+            server = serve_metrics(
+                cache, scenario, args.serve, host=args.host
+            )
+        except OSError as exc:  # port taken, bad host
+            raise SystemExit(f"error: cannot serve metrics: {exc}") from None
+        host, port = server.server_address[:2]
+        console(
+            f"serving Prometheus metrics on http://{host}:{port}/metrics "
+            f"(Ctrl-C to stop)"
+        )
+        try:
+            server.serve_forever()
+        finally:
+            server.server_close()
+        return 0
+    text = render_exposition(collect_metrics(cache, scenario))
+    if args.output == "-":
+        sys.stdout.write(text)
+    else:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        series = sum(
+            1 for line in text.splitlines() if not line.startswith("#")
+        )
+        console(f"wrote {series} metric sample(s) to {path}")
+    return 0
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    from repro.obs.history import history_path, load_history
+
+    root = Path(
+        args.cache_dir if args.cache_dir is not None else default_cache_dir()
+    )
+    entries = load_history(root, scenario=args.scenario)
+    if args.limit is not None and args.limit > 0:
+        entries = entries[-args.limit:]
+    if args.format == "json":
+        print(json.dumps(entries, indent=2, sort_keys=True))
+        return 0
+    if not entries:
+        what = f"of {args.scenario!r} " if args.scenario else ""
+        raise SystemExit(
+            f"error: no recorded runs {what}in {history_path(root)}; "
+            f"traced runs (--trace / REPRO_TRACE=1) record automatically"
+        )
+    title = "recorded runs" + (
+        f" of {args.scenario}" if args.scenario else ""
+    )
+    report = ExperimentReport(
+        title,
+        headers=("run id", "started", "units", "timing"),
+    )
+    for entry in entries:
+        summary = entry.get("summary") or {}
+        hit_rate = summary.get("cache_hit_rate")
+        wall = summary.get("wall_s")
+        throughput = summary.get("throughput_units_per_s")
+        units = (
+            f"{summary.get('units', '?')}"
+            + ("" if hit_rate is None else f" ({hit_rate:.0%} hit)")
+        )
+        timing = (
+            ("n/a" if wall is None else f"wall {_fmt_seconds(float(wall))}")
+            + ("" if throughput is None else f", {throughput:.2f} u/s")
+            + (" *interrupted*" if summary.get("interrupted") else "")
+        )
+        report.add(
+            str(entry.get("run_id")),
+            str(entry.get("started_at") or "?"),
+            units,
+            timing,
+        )
+    print(
+        report.render_markdown()
+        if args.format == "markdown"
+        else report.render()
+    )
+    console(
+        "\ndiff two with:  python -m repro diff <run-a> <run-b>"
+    )
+    return 0
+
+
+def _fmt_diff_value(name: str, value) -> str:
+    if value is None:
+        return "n/a"
+    if name.endswith("_rate") or name.endswith("_ratio"):
+        return f"{float(value):.2%}"
+    return f"{float(value):.4g}"
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.obs.history import (
+        diff_runs,
+        find_entry,
+        history_path,
+        load_history,
+    )
+
+    root = Path(
+        args.cache_dir if args.cache_dir is not None else default_cache_dir()
+    )
+    entries = {}
+    for label, run_id in (("baseline", args.run_a), ("candidate", args.run_b)):
+        entry = find_entry(root, run_id)
+        if entry is None:
+            known = ", ".join(
+                str(e.get("run_id")) for e in load_history(root)[-5:]
+            )
+            raise SystemExit(
+                f"error: run {run_id!r} is not in {history_path(root)}; "
+                f"most recent: {known or '(none recorded)'}"
+            )
+        entries[label] = entry
+    try:
+        diff = diff_runs(
+            entries["baseline"], entries["candidate"],
+            threshold=args.threshold,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    regressed = bool(diff["regressions"])
+    if args.format == "json":
+        print(json.dumps(diff, indent=2, sort_keys=True))
+        return 1 if regressed and args.strict else 0
+    report = ExperimentReport(
+        f"{diff['baseline']} -> {diff['candidate']}",
+        headers=("metric", "baseline", "candidate", "change"),
+    )
+    for metric in diff["metrics"]:
+        name = metric["name"]
+        ratio = metric["ratio"]
+        if ratio is None:
+            change = "n/a"
+        else:
+            change = f"{(ratio - 1.0) * 100:+.1f}%"
+            if metric["regressed"]:
+                change += "  REGRESSED"
+        report.add(
+            name,
+            _fmt_diff_value(name, metric["baseline"]),
+            _fmt_diff_value(name, metric["candidate"]),
+            change,
+        )
+    print(
+        report.render_markdown()
+        if args.format == "markdown"
+        else report.render()
+    )
+    if regressed:
+        console(
+            f"\n{len(diff['regressions'])} regression(s) beyond "
+            f"{args.threshold:.0%}: {', '.join(diff['regressions'])}"
+        )
+        if args.strict:
+            return 1
+    else:
+        console(f"\nno regressions beyond {args.threshold:.0%}")
     return 0
 
 
@@ -936,6 +1219,12 @@ def _add_execution_args(parser: argparse.ArgumentParser) -> None:
         help="write a structured JSONL trace (manifest + one span per "
              "unit) to <cache>/runs/<run_id>/trace.jsonl; --no-trace "
              "overrides REPRO_TRACE=1 (never changes results)",
+    )
+    parser.add_argument(
+        "--progress", action=argparse.BooleanOptionalAction, default=None,
+        help="publish live progress snapshots through the cache for "
+             "`python -m repro top` (default on; --no-progress or "
+             "REPRO_PROGRESS=0 silences them; never changes results)",
     )
     _add_log_args(parser)
     parser.add_argument(
@@ -1047,6 +1336,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", action=argparse.BooleanOptionalAction, default=None,
         help="write this worker's spans to its own "
              "<cache>/runs/<run_id>/trace.jsonl",
+    )
+    p_worker.add_argument(
+        "--progress", action=argparse.BooleanOptionalAction, default=None,
+        help="publish this worker's live progress snapshots through the "
+             "shared cache (default on; --no-progress or "
+             "REPRO_PROGRESS=0 silences them)",
     )
     p_worker.add_argument(
         "--accel", choices=accel.CHOICES, default=None,
@@ -1171,10 +1466,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="diagnostics from a traced run: latency percentiles, cache "
              "hit rate, worker utilization, slowest units",
     )
-    p_report.add_argument("scenario", help="registered scenario name")
+    p_report.add_argument(
+        "scenario", nargs="?", default=None,
+        help="registered scenario name (default: any scenario's runs)",
+    )
     p_report.add_argument(
         "--run-id", default=None,
-        help="report a specific run (default: the scenario's latest trace)",
+        help="report a specific run (default: the most recent trace)",
+    )
+    p_report.add_argument(
+        "--list-runs", action="store_true",
+        help="list the matching traced runs instead of reporting one",
     )
     p_report.add_argument(
         "--cache-dir", default=None,
@@ -1191,6 +1493,123 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_log_args(p_report)
     p_report.set_defaults(func=_cmd_report)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live campaign view: cached units, queue depth, leases "
+             "(stalled ones flagged), per-participant progress snapshots",
+    )
+    p_top.add_argument("scenario", help="registered scenario name")
+    p_top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between polls (default: 2)",
+    )
+    p_top.add_argument(
+        "--once", action="store_true",
+        help="print one snapshot and exit (CI / scripting mode)",
+    )
+    p_top.add_argument(
+        "--json", action="store_true",
+        help="emit one JSON status object per poll instead of text",
+    )
+    p_top.add_argument(
+        "--cache-dir", default=None,
+        help=f"shared cache root being watched (default: REPRO_CACHE_DIR "
+             f"or {default_cache_dir()})",
+    )
+    p_top.add_argument(
+        "--cache-backend", choices=BACKENDS, default=None,
+        help="result store layout (default: REPRO_CACHE_BACKEND; queue "
+             "and lease sections need sqlite)",
+    )
+    _add_override_args(p_top)
+    _add_log_args(p_top)
+    p_top.set_defaults(func=_cmd_top)
+
+    p_export = sub.add_parser(
+        "export-metrics",
+        help="export campaign/queue/progress state in Prometheus text "
+             "format: one-shot file (--output) or HTTP /metrics (--serve)",
+    )
+    p_export.add_argument("scenario", help="registered scenario name")
+    p_export.add_argument(
+        "--output", default="-",
+        help="write the exposition to this file (default: '-', stdout)",
+    )
+    p_export.add_argument(
+        "--serve", type=int, default=None, metavar="PORT",
+        help="serve a /metrics endpoint on this port instead of a "
+             "one-shot export (stdlib http.server; re-collects per scrape)",
+    )
+    p_export.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address for --serve (default: 127.0.0.1)",
+    )
+    p_export.add_argument(
+        "--cache-dir", default=None,
+        help=f"shared cache root being exported (default: REPRO_CACHE_DIR "
+             f"or {default_cache_dir()})",
+    )
+    p_export.add_argument(
+        "--cache-backend", choices=BACKENDS, default=None,
+        help="result store layout (default: REPRO_CACHE_BACKEND)",
+    )
+    _add_override_args(p_export)
+    _add_log_args(p_export)
+    p_export.set_defaults(func=_cmd_export_metrics)
+
+    p_history = sub.add_parser(
+        "history",
+        help="recorded runs from <cache>/runs/history.jsonl (traced runs "
+             "record automatically at finish)",
+    )
+    p_history.add_argument(
+        "scenario", nargs="?", default=None,
+        help="registered scenario name (default: every recorded run)",
+    )
+    p_history.add_argument(
+        "--limit", type=int, default=None,
+        help="show only the newest N entries (default: all)",
+    )
+    p_history.add_argument(
+        "--cache-dir", default=None,
+        help=f"cache root holding runs/history.jsonl (default: "
+             f"REPRO_CACHE_DIR or {default_cache_dir()})",
+    )
+    p_history.add_argument(
+        "--format", choices=("text", "markdown", "json"), default="text",
+        help="output format (default: text)",
+    )
+    _add_log_args(p_history)
+    p_history.set_defaults(func=_cmd_history)
+
+    p_diff = sub.add_parser(
+        "diff",
+        help="compare two recorded runs: stage latency percentiles, "
+             "cache hit rate, throughput; flags regressions beyond "
+             "--threshold",
+    )
+    p_diff.add_argument("run_a", help="baseline run id (see `repro history`)")
+    p_diff.add_argument("run_b", help="candidate run id")
+    p_diff.add_argument(
+        "--threshold", type=float, default=0.10,
+        help="relative regression threshold (default: 0.10 = 10%%)",
+    )
+    p_diff.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero when any metric regresses beyond the threshold",
+    )
+    p_diff.add_argument(
+        "--cache-dir", default=None,
+        help=f"cache root holding runs/history.jsonl (default: "
+             f"REPRO_CACHE_DIR or {default_cache_dir()})",
+    )
+    p_diff.add_argument(
+        "--format", choices=("text", "markdown", "json"), default="text",
+        help="output format (default: text)",
+    )
+    _add_log_args(p_diff)
+    p_diff.set_defaults(func=_cmd_diff)
 
     return parser
 

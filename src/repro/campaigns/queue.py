@@ -42,7 +42,13 @@ from typing import Callable, Iterable
 
 from repro.campaigns.store import ResultStore, SQLiteStore
 
-__all__ = ["QueueClaim", "QueueCounts", "WorkQueue", "supports_queue"]
+__all__ = [
+    "LeaseInfo",
+    "QueueClaim",
+    "QueueCounts",
+    "WorkQueue",
+    "supports_queue",
+]
 
 #: Default lease duration: long enough to cover any realistic unit
 #: (fleet chunks run in seconds), short enough that a crashed worker's
@@ -64,6 +70,26 @@ class QueueClaim:
     worker_id: str
     expires_at: float
     attempt: int
+
+
+@dataclass(frozen=True)
+class LeaseInfo:
+    """One in-flight (or orphaned) claim, as ``repro top`` sees it.
+
+    ``stalled`` means the expiry already passed but no claim has reaped
+    the row yet -- the signature of a worker that died mid-unit and
+    whose unit will be re-queued at the next claim.
+    """
+
+    key: str
+    worker_id: str
+    acquired_at: float
+    expires_at: float
+    stalled: bool
+
+    @property
+    def age_s(self) -> float:
+        return max(0.0, self.expires_at - self.acquired_at)
 
 
 @dataclass(frozen=True)
@@ -175,3 +201,18 @@ class WorkQueue:
             self.scenario_hash, self.clock()
         )
         return QueueCounts(queued=queued, leased=leased)
+
+    def leases(self) -> list[LeaseInfo]:
+        """Every lease row, stalled ones flagged (expired, unreaped)."""
+        now = self.clock()
+        return [
+            LeaseInfo(
+                key=key,
+                worker_id=worker_id,
+                acquired_at=acquired_at,
+                expires_at=expires_at,
+                stalled=expires_at <= now,
+            )
+            for key, worker_id, acquired_at, expires_at
+            in self.store.queue_leases(self.scenario_hash)
+        ]

@@ -45,6 +45,7 @@ from repro.fleet.metrics import FleetAccumulator
 from repro.fleet.runner import FleetChunkSpec, run_fleet_chunk
 from repro.obs.log import get_logger
 from repro.obs.metrics import ObsAccumulator, take_global
+from repro.obs.progress import ProgressPublisher, resolve_progress
 from repro.obs.trace import Tracer, git_revision
 from repro.runtime import SweepExecutor, chunk_sizes
 from repro.runtime.seeding import round_seed_sequence, unit_seed_sequence
@@ -557,6 +558,15 @@ class CampaignRunner:
         ``runs/<run_id>/trace.jsonl`` under the tracer's root.
         Tracing never enters cache keys, RNG streams, or results: a
         traced run is bit-identical to an untraced one.
+    progress:
+        Whether the run publishes live progress snapshots through the
+        cache's store (:mod:`repro.obs.progress`), for ``python -m
+        repro top`` and metric exporters to poll.  ``None`` defers to
+        ``REPRO_PROGRESS`` and defaults to on; like tracing it never
+        enters cache keys, RNG streams, or results -- a progress-on
+        run is bit-identical to a progress-off one.  Moot without a
+        persistent cache (``persist=False``): there is no store to
+        publish through.
     """
 
     def __init__(
@@ -568,6 +578,7 @@ class CampaignRunner:
         cache_backend: str | None = None,
         profile: bool = False,
         tracer: Tracer | None = None,
+        progress: bool | None = None,
     ):
         self.scenario = scenario
         self.executor = SweepExecutor(workers)
@@ -575,6 +586,7 @@ class CampaignRunner:
         self.profile = profile
         self.profile_path: Path | None = None
         self.tracer = tracer
+        self.progress = resolve_progress(progress)
         self._cache_root = Path(
             cache_dir if cache_dir is not None else default_cache_dir()
         )
@@ -738,11 +750,20 @@ class CampaignRunner:
                 enqueued, self.scenario.name, self._cache_root,
                 self.cache.backend,
             )
+            publisher = self._progress_publisher(
+                "coordinator", len(units), tracer
+            )
             wait_start = time.perf_counter()
             done = set(cached)
+            if publisher is not None:
+                publisher.advance(
+                    done=len(done), reused=len(done), phase="wait"
+                )
             while len(done) < len(keys):
                 waited = time.perf_counter() - wait_start
                 if wait_timeout_s is not None and waited > wait_timeout_s:
+                    if publisher is not None:
+                        publisher.finish(phase="timeout")
                     counts = queue.counts()
                     raise RuntimeError(
                         f"distributed campaign {self.scenario.name} timed "
@@ -756,7 +777,15 @@ class CampaignRunner:
                     )
                 time.sleep(poll_s)
                 done = self.cache.cached_keys(self.scenario, keys)
+                if publisher is not None:
+                    # The coordinator never evaluates: its "done" is
+                    # whatever the fleet has cached so far.
+                    publisher.done_units = len(done)
+                    publisher.publish(phase="wait")
             wait_seconds = time.perf_counter() - wait_start
+            if publisher is not None:
+                publisher.done_units = len(done)
+                publisher.finish(phase="reduce")
             if tracer is not None:
                 tracer.emit(
                     "phase", name="wait", seconds=wait_seconds,
@@ -803,6 +832,28 @@ class CampaignRunner:
         if self.tracer is not None and not self.tracer.finished:
             return self.tracer
         return None
+
+    def _progress_publisher(
+        self, role: str, total_units: int, tracer: Tracer | None
+    ) -> ProgressPublisher | None:
+        """This run's live-progress publisher, or None when disabled.
+
+        Needs a persistent cache: snapshots travel through its store
+        (that is what makes them visible to ``repro top`` across
+        processes and mounts).
+        """
+        if not self.progress or self.cache is None:
+            return None
+        return ProgressPublisher(
+            self.cache.store,
+            self.scenario.scenario_hash(),
+            role,
+            role=role,
+            total_units=total_units,
+            scenario=self.scenario.name,
+            run_id=tracer.run_id if tracer is not None else None,
+            workers=self.executor.workers,
+        )
 
     def _manifest(self, total_units: int, forced_serial: bool) -> dict:
         """The run manifest: what ran, resolved how, at which versions."""
@@ -899,6 +950,13 @@ class CampaignRunner:
                     status="hit",
                     load_s=hit_load_s,
                 )
+        publisher = self._progress_publisher("runner", len(units), tracer)
+        if publisher is not None:
+            # Cache hits count as done immediately; the executor hook
+            # below advances the computed ones as they stream back.
+            publisher.advance(
+                done=len(results), reused=len(results), phase="execute"
+            )
         computed = 0
         # Streaming submission: results arrive in unit order as they
         # complete, and each is flushed to the cache immediately -- an
@@ -912,6 +970,8 @@ class CampaignRunner:
             executor = SweepExecutor(1)
             profiler = cProfile.Profile()
         run_metrics = ObsAccumulator() if tracer is not None else None
+        if publisher is not None:
+            executor.unit_callback = publisher.unit_done
         specs = [u.spec for u in pending]
         execute_start = time.perf_counter()
         submit_mono = time.monotonic()
@@ -958,6 +1018,11 @@ class CampaignRunner:
                 if profiler is not None:
                     profiler.enable()
         finally:
+            executor.unit_callback = None
+            if publisher is not None:
+                publisher.finish(
+                    phase="done" if computed >= len(pending) else "interrupted"
+                )
             if profiler is not None:
                 profiler.disable()
                 self.profile_path = self._dump_profile(profiler)

@@ -159,6 +159,23 @@ class ResultStore(Protocol):
         """
         ...
 
+    def progress_publish(
+        self, scenario_hash: str, source: str, payload: dict, now: float
+    ) -> None:
+        """Replace one source's live progress snapshot (best-effort).
+
+        Snapshots are advisory telemetry (:mod:`repro.obs.progress`):
+        they must never appear where cached results are fingerprinted,
+        so both backends keep them outside the unit namespaces.
+        """
+        ...
+
+    def progress_read(
+        self, scenario_hash: str
+    ) -> list[tuple[str, dict, float]]:
+        """Every source's latest snapshot: (source, payload, updated_at)."""
+        ...
+
 
 # ----------------------------------------------------------------------
 # Filesystem backend (the historical on-disk layout, byte-identical)
@@ -312,6 +329,60 @@ class FilesystemStore:
             shutil.rmtree(directory)
         return removed
 
+    # -- live progress (repro.obs.progress) ----------------------------
+
+    def _progress_dir(self, scenario_hash: str) -> Path:
+        # Deliberately *inside* runs/: everything that fingerprints
+        # cached results (bit-identity digests, scenario namespaces)
+        # already excludes the runs/ tree, and a dotted name keeps the
+        # run-discovery scan from ever mistaking it for a run.
+        return self.root / "runs" / ".progress" / scenario_hash
+
+    def progress_publish(
+        self, scenario_hash: str, source: str, payload: dict, now: float
+    ) -> None:
+        directory = self._progress_dir(scenario_hash)
+        directory.mkdir(parents=True, exist_ok=True)
+        safe = "".join(
+            ch if ch.isalnum() or ch in "-._" else "_" for ch in source
+        ) or "source"
+        path = directory / f"{safe}.json"
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(
+            {"source": source, "updated_at": now, "payload": payload},
+            sort_keys=True,
+        ) + "\n")
+        os.replace(tmp, path)
+
+    def progress_read(
+        self, scenario_hash: str
+    ) -> list[tuple[str, dict, float]]:
+        directory = self._progress_dir(scenario_hash)
+        snapshots: list[tuple[str, dict, float]] = []
+        try:
+            entries = sorted(directory.iterdir())
+        except OSError:
+            return snapshots
+        for path in entries:
+            if path.suffix != ".json":
+                continue
+            try:
+                body = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue  # torn or foreign file: advisory data, skip
+            if not isinstance(body, dict):
+                continue
+            payload = body.get("payload")
+            if not isinstance(payload, dict):
+                continue
+            source = body.get("source")
+            snapshots.append((
+                source if isinstance(source, str) else path.stem,
+                payload,
+                float(body.get("updated_at", 0.0)),
+            ))
+        return snapshots
+
     # -- helpers --------------------------------------------------------
 
     @staticmethod
@@ -414,6 +485,17 @@ class SQLiteStore:
                 " acquired_at REAL NOT NULL,"
                 " expires_at REAL NOT NULL,"
                 " PRIMARY KEY (scenario_hash, unit_key))"
+            )
+            # Live telemetry (repro.obs.progress): one row per
+            # publishing source, replaced on every publish.  Advisory
+            # only -- nothing that fingerprints results reads it.
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS progress ("
+                " scenario_hash TEXT NOT NULL,"
+                " source TEXT NOT NULL,"
+                " payload TEXT NOT NULL,"
+                " updated_at REAL NOT NULL,"
+                " PRIMARY KEY (scenario_hash, source))"
             )
             conn.commit()
             self._conn = conn
@@ -608,6 +690,7 @@ class SQLiteStore:
                 conn.execute("DELETE FROM scenarios")
                 conn.execute("DELETE FROM queue")
                 conn.execute("DELETE FROM leases")
+                conn.execute("DELETE FROM progress")
             else:
                 removed = 0
                 for scenario_hash in scenario_hashes:
@@ -616,7 +699,7 @@ class SQLiteStore:
                         (scenario_hash,),
                     )
                     removed += cur.rowcount
-                    for table in ("scenarios", "queue", "leases"):
+                    for table in ("scenarios", "queue", "leases", "progress"):
                         conn.execute(
                             f"DELETE FROM {table} WHERE scenario_hash = ?",
                             (scenario_hash,),
@@ -797,6 +880,72 @@ class SQLiteStore:
             (scenario_hash, now),
         ).fetchone()[0]
         return int(queued), int(leased)
+
+    def queue_leases(
+        self, scenario_hash: str
+    ) -> list[tuple[str, str, float, float]]:
+        """Every lease row: (unit_key, worker_id, acquired_at, expires_at).
+
+        Includes *expired* rows -- claims reap those lazily, so between
+        a worker's death and the next claim they are exactly the
+        stalled leases ``repro top`` exists to surface.
+        """
+        if self._conn is None and not self.path.exists():
+            return []
+        rows = self._connect().execute(
+            "SELECT unit_key, worker_id, acquired_at, expires_at"
+            " FROM leases WHERE scenario_hash = ?"
+            " ORDER BY acquired_at, unit_key",
+            (scenario_hash,),
+        ).fetchall()
+        return [
+            (str(k), str(w), float(a), float(e)) for k, w, a, e in rows
+        ]
+
+    # -- live progress (repro.obs.progress) ----------------------------
+
+    def progress_publish(
+        self, scenario_hash: str, source: str, payload: dict, now: float
+    ) -> None:
+        conn = self._connect()
+        with conn:
+            conn.execute(
+                "INSERT INTO progress"
+                " (scenario_hash, source, payload, updated_at)"
+                " VALUES (?, ?, ?, ?)"
+                " ON CONFLICT (scenario_hash, source)"
+                " DO UPDATE SET payload = excluded.payload,"
+                "               updated_at = excluded.updated_at",
+                (
+                    scenario_hash,
+                    source,
+                    json.dumps(payload, sort_keys=True),
+                    now,
+                ),
+            )
+
+    def progress_read(
+        self, scenario_hash: str
+    ) -> list[tuple[str, dict, float]]:
+        if self._conn is None and not self.path.exists():
+            return []
+        try:
+            rows = self._connect().execute(
+                "SELECT source, payload, updated_at FROM progress"
+                " WHERE scenario_hash = ? ORDER BY source",
+                (scenario_hash,),
+            ).fetchall()
+        except (sqlite3.Error, OSError):
+            return []
+        snapshots: list[tuple[str, dict, float]] = []
+        for source, payload, updated_at in rows:
+            try:
+                body = json.loads(payload)
+            except ValueError:
+                continue
+            if isinstance(body, dict):
+                snapshots.append((str(source), body, float(updated_at)))
+        return snapshots
 
 
 def _is_busy(exc: sqlite3.OperationalError) -> bool:

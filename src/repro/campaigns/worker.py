@@ -33,11 +33,28 @@ from repro.campaigns.spec import SCHEMA_VERSION, Scenario
 from repro.campaigns.store import SQLiteStore
 from repro.obs.log import get_logger
 from repro.obs.metrics import observed_call, take_global
+from repro.obs.progress import ProgressPublisher, resolve_progress
 from repro.obs.trace import Tracer, git_revision
 
-__all__ = ["WorkerStats", "default_worker_id", "run_worker"]
+__all__ = [
+    "HeartbeatError",
+    "WorkerStats",
+    "default_worker_id",
+    "run_worker",
+]
 
 _log = get_logger("worker")
+
+
+class HeartbeatError(RuntimeError):
+    """The lease-heartbeat store became unavailable mid-campaign.
+
+    A worker whose heartbeats cannot land is a zombie: it still holds a
+    lease it can no longer renew, so other workers wait out the full
+    lease on a unit this one may never be able to persist.  The worker
+    must abandon its claim and exit distinctly (CLI exit code 4) -- not
+    soldier on, not report a clean completion.
+    """
 
 
 def default_worker_id() -> str:
@@ -77,6 +94,14 @@ class _HeartbeatThread(threading.Thread):
     Keys whose renewal fails land in :attr:`lost` -- the worker checks
     after each unit to count double-evaluations, which are harmless
     (deterministic results) but worth surfacing in the stats.
+
+    A renewal that *raises* (store file gone, database locked beyond
+    sqlite's own retries, disk yanked) is a different beast from one
+    that returns False: the store itself is unreachable, so no future
+    renewal can succeed either.  The thread records the exception in
+    :attr:`error` and stops; the worker loop checks that attribute and
+    bails out with :class:`HeartbeatError` rather than running on with
+    an unrenewable lease.
     """
 
     def __init__(self, root: Path, scenario_hash: str, worker_id: str,
@@ -88,6 +113,7 @@ class _HeartbeatThread(threading.Thread):
         self.lease_s = lease_s
         self.interval_s = max(0.05, lease_s / 3.0)
         self.lost: set[str] = set()
+        self.error: BaseException | None = None
         self._key: str | None = None
         self._lock = threading.Lock()
         self._halt = threading.Event()
@@ -104,17 +130,30 @@ class _HeartbeatThread(threading.Thread):
         self._halt.set()
 
     def run(self) -> None:
-        store = SQLiteStore(self.root)
+        try:
+            store = SQLiteStore(self.root)
+        except Exception as exc:  # pragma: no cover - constructor is lazy
+            self.error = exc
+            return
         try:
             while not self._halt.wait(self.interval_s):
                 with self._lock:
                     key = self._key
                 if key is None:
                     continue
-                renewed = store.lease_heartbeat(
-                    self.scenario_hash, key, self.worker_id,
-                    time.time() + self.lease_s,
-                )
+                try:
+                    renewed = store.lease_heartbeat(
+                        self.scenario_hash, key, self.worker_id,
+                        time.time() + self.lease_s,
+                    )
+                except Exception as exc:
+                    self.error = exc
+                    _log.error(
+                        "worker %s: lease heartbeat failed (%s); "
+                        "store unreachable, halting renewals",
+                        self.worker_id, exc,
+                    )
+                    return
                 if not renewed:
                     with self._lock:
                         # Only record a loss for the unit still being
@@ -136,6 +175,7 @@ def run_worker(
     idle_timeout_s: float | None = 600.0,
     max_units: int | None = None,
     tracer: Tracer | None = None,
+    progress: bool | None = None,
 ) -> WorkerStats:
     """Drain one scenario's work queue until the campaign is cached.
 
@@ -144,6 +184,16 @@ def run_worker(
     when every planned key is cached, when ``max_units`` claims have
     been processed, or after ``idle_timeout_s`` seconds without
     claimable work (``None`` polls forever -- daemon mode).
+
+    With ``progress`` on (flag > ``REPRO_PROGRESS`` > on) the worker
+    publishes periodic snapshots of its own claim/compute counts
+    through the shared store, which is what ``python -m repro top``
+    renders live.  Publishing is best-effort and throttled; it never
+    changes what the worker computes or writes.
+
+    Raises :class:`HeartbeatError` when the lease-heartbeat thread hits
+    a store error (not a mere lost renewal): the worker abandons its
+    claim and the CLI maps the exception to exit code 4.
     """
     worker_id = worker_id or default_worker_id()
     cache_root = Path(
@@ -174,10 +224,26 @@ def run_worker(
         cache_root, scenario_hash, worker_id, lease_s
     )
     heartbeat.start()
+    publisher: ProgressPublisher | None = None
+    if resolve_progress(progress):
+        publisher = ProgressPublisher(
+            cache.store, scenario_hash, worker_id,
+            role="worker", total_units=len(units),
+            scenario=scenario.name,
+            run_id=tracer.run_id if tracer is not None else None,
+        )
+        publisher.advance(done=0, phase="claim")
     idle_since: float | None = None
+    exit_phase = "exit"
     try:
         while True:
+            if heartbeat.error is not None:
+                raise HeartbeatError(
+                    f"worker {worker_id}: lease heartbeat hit a store "
+                    f"error ({heartbeat.error}); exiting"
+                ) from heartbeat.error
             if max_units is not None and stats.claimed >= max_units:
+                exit_phase = "done"
                 break
             claim = queue.claim(worker_id, lease_s)
             if claim is None:
@@ -189,6 +255,7 @@ def run_worker(
                         "worker %s: campaign %s complete",
                         worker_id, scenario.name,
                     )
+                    exit_phase = "done"
                     break
                 now = time.monotonic()
                 if idle_since is None:
@@ -202,7 +269,10 @@ def run_worker(
                         "giving up",
                         worker_id, idle_timeout_s, len(remaining),
                     )
+                    exit_phase = "idle-timeout"
                     break
+                if publisher is not None:
+                    publisher.publish(phase="idle")
                 time.sleep(poll_s)
                 continue
             idle_since = None
@@ -223,6 +293,8 @@ def run_worker(
                 # just retire the queue row.
                 queue.complete(claim.key, worker_id)
                 stats.reused += 1
+                if publisher is not None:
+                    publisher.advance(done=1, reused=1, phase="claim")
                 if tracer is not None:
                     tracer.emit(
                         "unit", key=claim.key, coords=unit.coords,
@@ -231,6 +303,8 @@ def run_worker(
                     )
                 continue
             heartbeat.watch(claim.key)
+            if publisher is not None:
+                publisher.publish(phase="evaluate")
             try:
                 envelope = observed_call(evaluate_unit, unit.spec)
             except BaseException:
@@ -238,10 +312,26 @@ def run_worker(
                 queue.abandon(claim.key, worker_id)
                 raise
             heartbeat.clear()
+            if heartbeat.error is not None:
+                # The store died while we were computing: abandon the
+                # claim (best effort -- the store may refuse even that)
+                # and surface the failure instead of pretending the
+                # result landed.
+                try:
+                    queue.abandon(claim.key, worker_id)
+                except Exception:
+                    pass
+                raise HeartbeatError(
+                    f"worker {worker_id}: lease heartbeat hit a store "
+                    f"error mid-unit ({heartbeat.error}); abandoning "
+                    f"{claim.key} and exiting"
+                ) from heartbeat.error
             cache.put(scenario, claim.key, unit.coords, envelope["result"])
             queue.complete(claim.key, worker_id)
             stats.computed += 1
             stats.busy_s += envelope["obs"]["exec_s"]
+            if publisher is not None:
+                publisher.advance(done=1, computed=1, phase="claim")
             if claim.key in heartbeat.lost:
                 stats.lease_lost += 1
             if tracer is not None:
@@ -254,12 +344,15 @@ def run_worker(
                     lease_lost=claim.key in heartbeat.lost,
                 )
     except BaseException:
+        exit_phase = "interrupted"
         if tracer is not None:
             tracer.finish(interrupted=True, **stats.to_payload())
         raise
     finally:
         heartbeat.stop()
         heartbeat.join(timeout=5.0)
+        if publisher is not None:
+            publisher.finish(phase=exit_phase)
     if tracer is not None:
         tracer.emit("metrics", metrics=take_global())
         tracer.finish(**stats.to_payload())

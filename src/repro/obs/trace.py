@@ -124,6 +124,7 @@ class Tracer:
         scenario_name: str,
         run_id: str | None = None,
     ):
+        self.cache_root = Path(cache_root)
         root = runs_root(cache_root)
         if run_id is None:
             stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
@@ -181,6 +182,16 @@ class Tracer:
         self._file.flush()
         self._file.close()
         self._file = None
+        # Index the finished run in the cross-run history so `repro
+        # history` and `repro diff` see it without a separate step.
+        # Best-effort: a failed record must never fail the run whose
+        # results are already safely on disk.
+        try:
+            from repro.obs.history import record_run
+
+            record_run(self.cache_root, self.run_dir)
+        except Exception:
+            pass
 
     @property
     def started(self) -> bool:

@@ -108,6 +108,12 @@ class SweepExecutor:
         self.chunksize = chunksize
         self.transport = resolve_transport(transport)
         self._pool: ProcessPoolExecutor | None = None
+        #: Optional per-unit completion hook: called (no arguments,
+        #: exceptions swallowed) once per result :meth:`imap` yields,
+        #: serial and pooled alike.  The campaign runner points this at
+        #: its live progress publisher; anything observing a sweep can
+        #: use it -- by contract the hook must never influence results.
+        self.unit_callback: Callable[[], None] | None = None
 
     @property
     def parallel(self) -> bool:
@@ -160,18 +166,31 @@ class SweepExecutor:
         if not self.parallel or len(units) <= 1:
             counter_inc("executor.serial_units", len(units))
             for unit in units:
-                yield fn(unit)
+                result = fn(unit)
+                self._notify_unit()
+                yield result
             return
         counter_inc("executor.pool_units", len(units))
         fn, units = self._apply_transport(fn, units)
         if self._pool is not None:  # inside a pool_session
             for result in self._pool.map(fn, units, chunksize=self.chunksize):
+                self._notify_unit()
                 yield decode_payload(result)
             return
         max_workers = min(self.workers, len(units))
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             for result in pool.map(fn, units, chunksize=self.chunksize):
+                self._notify_unit()
                 yield decode_payload(result)
+
+    def _notify_unit(self) -> None:
+        """Fire the per-unit hook; a broken observer never breaks a sweep."""
+        if self.unit_callback is None:
+            return
+        try:
+            self.unit_callback()
+        except Exception:
+            counter_inc("executor.unit_callback_error")
 
     def imap_observed(
         self, fn: Callable[[T], R], units: Iterable[T]

@@ -296,6 +296,97 @@ class TestRunWorker:
         assert summary["cache"]["computed"] == 3
 
 
+class _BrokenHeartbeatStore:
+    """Stands in for the heartbeat thread's private store connection.
+
+    ``lease_heartbeat`` raising (not returning False) models the store
+    itself becoming unreachable -- file deleted, disk gone -- which the
+    worker must treat as fatal, not as a lost renewal.
+    """
+
+    def __init__(self, root):
+        self.root = root
+
+    def lease_heartbeat(self, *args, **kwargs):
+        raise OSError("store offline")
+
+    def close(self):
+        pass
+
+
+class TestHeartbeatFailure:
+    def _break_heartbeats(self, monkeypatch, exec_delay_s=0.3):
+        import repro.campaigns.worker as worker_mod
+
+        monkeypatch.setattr(
+            worker_mod, "SQLiteStore", _BrokenHeartbeatStore
+        )
+        real_evaluate = worker_mod.evaluate_unit
+
+        def slow_evaluate(spec):
+            # Long enough that the heartbeat interval (lease/3, floor
+            # 0.05s) fires mid-unit deterministically.
+            import time as _time
+
+            _time.sleep(exec_delay_s)
+            return real_evaluate(spec)
+
+        monkeypatch.setattr(worker_mod, "evaluate_unit", slow_evaluate)
+
+    def test_thread_captures_store_error_and_stops(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.campaigns.worker as worker_mod
+
+        monkeypatch.setattr(
+            worker_mod, "SQLiteStore", _BrokenHeartbeatStore
+        )
+        thread = worker_mod._HeartbeatThread(
+            tmp_path, "hash", "w1", lease_s=0.15
+        )
+        thread.watch("unit-key")
+        thread.start()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert isinstance(thread.error, OSError)
+        assert thread.lost == set()
+
+    def test_worker_abandons_claim_and_raises(self, tmp_path, monkeypatch):
+        from repro.campaigns.worker import HeartbeatError, run_worker
+
+        self._break_heartbeats(monkeypatch)
+        scenario = _scenario()
+        with pytest.raises(HeartbeatError, match="store offline"):
+            run_worker(
+                scenario, cache_dir=tmp_path, cache_backend="sqlite",
+                worker_id="zombie", lease_s=0.15, poll_s=0.01,
+            )
+        cache = ResultCache(tmp_path, backend="sqlite")
+        # The in-flight unit was abandoned, not silently persisted:
+        # nothing cached, no lease rows left behind.
+        keys = [u.key for u in plan_scenario_units(scenario)]
+        assert cache.cached_keys(scenario, keys) == set()
+        q = WorkQueue(cache.store, scenario.scenario_hash())
+        counts = q.counts()
+        assert counts.leased == 0
+        assert counts.queued == 4
+
+    def test_cli_maps_heartbeat_error_to_exit_4(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        from repro.campaigns.cli import main
+
+        self._break_heartbeats(monkeypatch)
+        code = main([
+            "worker", "fleet-attack-prevalence",
+            "--patients", "20", "--trials", "1", "--chunk-size", "5",
+            "--cache-backend", "sqlite", "--cache-dir", str(tmp_path),
+            "--worker-id", "zombie", "--lease", "0.15", "--poll", "0.01",
+        ])
+        assert code == 4
+        assert "heartbeat" in capsys.readouterr().err
+
+
 class TestRunDistributed:
     def test_reduces_bit_identically_to_serial(self, tmp_path):
         scenario = _scenario()

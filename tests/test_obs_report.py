@@ -71,6 +71,21 @@ class TestLoadTrace:
         manifest, events = load_trace(tracer.path)
         assert len(events) == 2  # the torn line is skipped, not fatal
 
+    def test_manifest_only_trace_loads_and_summarizes(self, tmp_path):
+        # A run SIGKILLed right after start: the durable manifest line
+        # is all there is.  Loading and summarizing must both work --
+        # that is what lets `repro report` identify an in-flight or
+        # dead run.
+        tracer = _write_trace(tmp_path, "demo", seed=7)
+        manifest, events = load_trace(tracer.path)
+        assert manifest["scenario"] == "demo"
+        assert events == []
+        summary = summarize_run(manifest, events)
+        assert summary["cache"]["total"] == 0
+        assert summary["stages"] == {}
+        assert summary["summary"] is None  # no closing summary event
+        tracer.finish()
+
     def test_missing_manifest_raises(self, tmp_path):
         path = tmp_path / "trace.jsonl"
         path.write_text('{"type": "unit", "key": "u1"}\n')
@@ -233,6 +248,49 @@ class TestReportCli:
                 "report", "attack-success-shielded",
                 "--cache-dir", str(tmp_path), "--run-id", "nope",
             ])
+
+    def test_omitted_scenario_reports_the_most_recent_run(
+        self, capsys, tmp_path
+    ):
+        self._traced_run(tmp_path)
+        capsys.readouterr()
+        assert main([
+            "report", "--cache-dir", str(tmp_path), "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "attack-success-shielded"
+
+    def test_omitted_scenario_with_no_runs_exits_with_guidance(
+        self, tmp_path
+    ):
+        with pytest.raises(SystemExit, match="no traced runs"):
+            main(["report", "--cache-dir", str(tmp_path)])
+
+    def test_list_runs_table(self, capsys, tmp_path):
+        self._traced_run(tmp_path)
+        self._traced_run(tmp_path)
+        capsys.readouterr()
+        assert main([
+            "report", "--cache-dir", str(tmp_path), "--list-runs",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "run id" in out
+        assert out.count("attack-success-shielded-") >= 2
+
+    def test_list_runs_json_and_scenario_filter(self, capsys, tmp_path):
+        self._traced_run(tmp_path)
+        other = _write_trace(tmp_path, "beta", run_id="beta-run")
+        other.finish()
+        capsys.readouterr()
+        assert main([
+            "report", "attack-success-shielded",
+            "--cache-dir", str(tmp_path), "--list-runs",
+            "--format", "json",
+        ]) == 0
+        runs = json.loads(capsys.readouterr().out)
+        assert len(runs) == 1
+        assert runs[0]["scenario"] == "attack-success-shielded"
+        assert {"run_id", "role", "started_at"} <= set(runs[0])
 
 
 class TestLogging:
