@@ -33,15 +33,17 @@ DEFAULT_BASELINE = BENCH_DIR / "BENCH_baseline.json"
 #: paths (ECG synthesis, codec, batch eavesdropping, inference), the
 #: fleet hot paths (cohort synthesis, shard reduction, SQLite cache
 #: throughput), the accel layer (registry-dispatched kernels plus the
-#: executor's shared-memory payload transport), and the observability
+#: executor's shared-memory payload transport), the observability
 #: layer (always-on metrics hooks, span emission, traced-vs-untraced
-#: campaign overhead).
+#: campaign overhead), and the live monitor (unpaced engine drain
+#: throughput, streaming fan-out at 100 subscribers).
 GATED_SUITES = (
     BENCH_DIR / "test_perf_primitives.py",
     BENCH_DIR / "test_perf_physio.py",
     BENCH_DIR / "test_perf_fleet.py",
     BENCH_DIR / "test_perf_accel.py",
     BENCH_DIR / "test_perf_obs.py",
+    BENCH_DIR / "test_perf_live.py",
 )
 
 

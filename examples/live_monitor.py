@@ -1,0 +1,116 @@
+"""Accelerated-time ward monitor: 100 patients, one attack burst, SSE.
+
+The batch examples answer population questions; this one shows the
+deployment posture: a :class:`~repro.live.engine.LiveEngine` admits a
+100-patient cohort (the same synthesis the fleet campaigns use),
+streams each patient's vitals at 1 Hz of *simulated* time compressed
+100x by an :class:`~repro.live.clock.AcceleratedClock`, and injects
+one battery-DoS attack burst through the event-level testbed.  A
+:class:`~repro.live.serve.LiveServer` fans the stream out over SSE;
+an in-process client subscribes like any external dashboard would
+(plain ``asyncio.open_connection``, no client library) and prints
+every alarm frame it receives.
+
+The safety split to notice: the alarms printed here are
+*notifications*.  The shield's interlocks -- reactive jamming and the
+device-side audible alarm -- already ran inside the simulated
+encounter, whether or not anyone was subscribed.
+
+Run:  python examples/live_monitor.py
+"""
+
+import asyncio
+import json
+
+from repro.live import (
+    AcceleratedClock,
+    AlarmPipeline,
+    LiveConfig,
+    LiveEngine,
+    run_live,
+)
+
+SPEEDUP = 100.0
+
+
+async def alarm_printer(server) -> int:
+    """One SSE subscriber: connect, parse frames, print the alarms."""
+    reader, writer = await asyncio.open_connection(server.host, server.port)
+    writer.write(b"GET /events HTTP/1.1\r\nHost: live\r\n\r\n")
+    await writer.drain()
+    alarms_seen = 0
+    buffer = b""
+    try:
+        while True:
+            chunk = await asyncio.wait_for(reader.read(65536), timeout=5.0)
+            if not chunk:
+                break
+            buffer += chunk
+            # SSE frames end in a blank line; data lines carry JSON.
+            while b"\n\n" in buffer:
+                frame, buffer = buffer.split(b"\n\n", 1)
+                for line in frame.splitlines():
+                    if not line.startswith(b"data: "):
+                        continue
+                    payload = json.loads(line[len(b"data: "):])
+                    for alarm in payload.get("alarms", []):
+                        alarms_seen += 1
+                        print(
+                            f"  [sim t={alarm['t']:7.2f}s] "
+                            f"patient {alarm['patient']:>3} "
+                            f"{alarm['severity'].upper():<8} "
+                            f"{alarm['rule']}: {alarm['message']}"
+                        )
+    except asyncio.TimeoutError:
+        pass
+    finally:
+        writer.close()
+    return alarms_seen
+
+
+async def main() -> None:
+    config = LiveConfig(
+        n_patients=100,
+        seed=42,
+        duration_s=60.0,
+        telemetry_interval_s=1.0,
+        attack_bursts=1,
+    )
+    engine = LiveEngine(
+        config,
+        clock=AcceleratedClock(SPEEDUP),
+        pipeline=AlarmPipeline(),  # notification-only; no notifiers needed
+    )
+
+    print(
+        f"admitting {config.n_patients} patients for "
+        f"{config.duration_s:.0f} simulated seconds at {SPEEDUP:g}x "
+        f"({config.duration_s / SPEEDUP:.1f}s of wall time)"
+    )
+    print("alarms received over SSE:")
+
+    client: list[asyncio.Task] = []
+
+    def on_started(server):
+        client.append(asyncio.ensure_future(alarm_printer(server)))
+
+    snapshot = await run_live(
+        engine, serve=True, port=0, linger_s=0.5, on_started=on_started
+    )
+    alarms_seen = await client[0]
+
+    print(
+        f"\nengine: {snapshot['events_total']} events "
+        f"({snapshot['events_per_s']:.0f}/s), "
+        f"{snapshot['alarms_fired']} alarms fired "
+        f"({snapshot['alarms_suppressed']} rate-limited), "
+        f"{snapshot['frames_dropped']} frames dropped"
+    )
+    print(
+        f"subscriber saw {alarms_seen} alarm notification(s) "
+        f"across {snapshot['frames_flushed']} coalesced frame(s)"
+    )
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

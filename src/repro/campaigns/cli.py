@@ -968,6 +968,10 @@ def _cmd_top(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"error: --interval must be positive, got {args.interval}"
         )
+    if args.live is not None:
+        return _top_live(args)
+    if args.scenario is None:
+        raise SystemExit("error: a scenario name is required without --live")
     scenario = _apply_overrides(_resolve(args.scenario), args)
     cache = _watch_cache(args)
     # A TTY gets an ANSI-refreshed screen; pipes and CI logs get one
@@ -990,6 +994,113 @@ def _cmd_top(args: argparse.Namespace) -> int:
         if status["complete"]:
             return 0
         _time.sleep(args.interval)
+
+
+def _top_live(args: argparse.Namespace) -> int:
+    """``repro top --live URL``: poll a running live engine's /status."""
+    import time as _time
+    import urllib.error
+    import urllib.request
+
+    from repro.obs.top import render_live_status
+
+    base = args.live.rstrip("/")
+    if not base.startswith("http"):
+        base = "http://" + base
+    url = base + "/status"
+    is_tty = sys.stdout.isatty()
+    first = True
+    while True:
+        try:
+            with urllib.request.urlopen(url, timeout=5.0) as resp:
+                snapshot = json.loads(resp.read().decode("utf-8"))
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            raise SystemExit(
+                f"error: cannot poll live status at {url}: {exc}"
+            ) from None
+        if args.json:
+            print(json.dumps(snapshot, sort_keys=True), flush=True)
+        else:
+            if is_tty and not args.once:
+                sys.stdout.write("\x1b[2J\x1b[H")
+            elif not first:
+                print("---")
+            print("\n".join(render_live_status(snapshot)), flush=True)
+        first = False
+        if args.once or snapshot.get("finished"):
+            return 0
+        _time.sleep(args.interval)
+
+
+def _cmd_live(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.live.alarms import AlarmPipeline, LogNotifier
+    from repro.live.clock import AcceleratedClock, TestClock, WallClock
+    from repro.live.engine import LiveConfig, LiveEngine
+    from repro.live.events import EventLog
+    from repro.live.serve import run_live
+    from repro.obs.top import render_live_status
+
+    try:
+        config = LiveConfig(
+            n_patients=args.patients,
+            seed=args.seed,
+            duration_s=args.duration,
+            telemetry_interval_s=args.telemetry_interval,
+            attack_bursts=args.bursts,
+            burst_trials=args.burst_trials,
+            attack_command=args.command,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    if args.drain:
+        clock = TestClock()
+    elif args.speedup == 1.0:
+        clock = WallClock()
+    else:
+        try:
+            clock = AcceleratedClock(args.speedup)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}") from None
+
+    event_log = EventLog() if args.log_events else None
+    pipeline = AlarmPipeline(notifiers=[LogNotifier()])
+    engine = LiveEngine(
+        config, clock=clock, pipeline=pipeline, event_log=event_log
+    )
+
+    if args.serve is not None:
+        def on_started(server):
+            console(
+                f"live monitor on http://{server.host}:{server.port} "
+                f"(/events /status /metrics /healthz; Ctrl-C to stop)"
+            )
+    else:
+        on_started = None
+    try:
+        snapshot = asyncio.run(
+            run_live(
+                engine,
+                serve=args.serve is not None,
+                host=args.host,
+                port=args.serve or 0,
+                linger_s=args.linger,
+                on_started=on_started,
+            )
+        )
+    except OSError as exc:  # port taken, bad host
+        raise SystemExit(f"error: cannot serve live stream: {exc}") from None
+
+    if event_log is not None:
+        path = event_log.write(args.log_events)
+        console(
+            f"wrote {len(event_log.lines)} event/alarm line(s) to {path} "
+            f"(digest {event_log.digest()[:16]})"
+        )
+    for line in render_live_status(snapshot):
+        console(line)
+    return 0
 
 
 def _cmd_export_metrics(args: argparse.Namespace) -> int:
@@ -1494,12 +1605,86 @@ def build_parser() -> argparse.ArgumentParser:
     _add_log_args(p_report)
     p_report.set_defaults(func=_cmd_report)
 
+    p_live = sub.add_parser(
+        "live",
+        help="real-time clinical monitor: stream a cohort's vitals, "
+             "attack encounters, and alarms (optionally over SSE with "
+             "--serve)",
+    )
+    p_live.add_argument(
+        "--patients", type=int, default=100,
+        help="monitored cohort size (default: 100)",
+    )
+    p_live.add_argument(
+        "--seed", type=int, default=0,
+        help="cohort/run seed; same seed replays byte-identically "
+             "(default: 0)",
+    )
+    p_live.add_argument(
+        "--duration", type=float, default=60.0,
+        help="simulated horizon in seconds (default: 60)",
+    )
+    p_live.add_argument(
+        "--telemetry-interval", type=float, default=1.0,
+        help="simulated seconds between vitals ticks (default: 1)",
+    )
+    p_live.add_argument(
+        "--speedup", type=float, default=1.0,
+        help="simulated seconds per wall second (default: 1 = real time)",
+    )
+    p_live.add_argument(
+        "--drain", action="store_true",
+        help="no pacing at all: dispatch the whole schedule as fast as "
+             "one core can (replay/benchmark mode)",
+    )
+    p_live.add_argument(
+        "--bursts", type=int, default=1,
+        help="attack bursts to inject over the horizon (default: 1)",
+    )
+    p_live.add_argument(
+        "--burst-trials", type=int, default=5,
+        help="unauthorized commands per burst (default: 5)",
+    )
+    p_live.add_argument(
+        "--command", choices=("therapy", "interrogate"), default="therapy",
+        help="attack command each burst sends (default: therapy)",
+    )
+    p_live.add_argument(
+        "--serve", type=int, default=None, metavar="PORT",
+        help="stream over SSE on this port (0 picks a free one); "
+             "mounts /events /status /metrics /healthz",
+    )
+    p_live.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address for --serve (default: 127.0.0.1)",
+    )
+    p_live.add_argument(
+        "--linger", type=float, default=0.0,
+        help="keep serving this many wall seconds after the horizon "
+             "so late subscribers drain (default: 0)",
+    )
+    p_live.add_argument(
+        "--log-events", default=None, metavar="PATH",
+        help="write the canonical event/alarm log as JSONL to PATH "
+             "(two runs of one seed write identical bytes)",
+    )
+    _add_log_args(p_live)
+    p_live.set_defaults(func=_cmd_live)
+
     p_top = sub.add_parser(
         "top",
         help="live campaign view: cached units, queue depth, leases "
              "(stalled ones flagged), per-participant progress snapshots",
     )
-    p_top.add_argument("scenario", help="registered scenario name")
+    p_top.add_argument(
+        "scenario", nargs="?", default=None,
+        help="registered scenario name (omit with --live)",
+    )
+    p_top.add_argument(
+        "--live", metavar="URL", default=None,
+        help="watch a running `repro live --serve` engine at URL "
+             "(polls its /status) instead of a campaign cache",
+    )
     p_top.add_argument(
         "--interval", type=float, default=2.0,
         help="seconds between polls (default: 2)",

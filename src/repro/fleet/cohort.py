@@ -241,6 +241,28 @@ class CohortSpec:
         weights = np.asarray(self.location_weights, dtype=float)
         return weights / weights.sum()
 
+    def stream_seed(self, index: int, role: int) -> np.random.SeedSequence:
+        """The ``SeedSequence`` of one patient's numbered randomness role.
+
+        Every per-patient stream in the system is
+        ``SeedSequence(cohort seed, (FLEET_SPAWN_NAMESPACE, index,
+        role))``: role 0 is the profile, role 1 the batch encounter,
+        and roles >= 2 are reserved for the live subsystem
+        (:data:`repro.live.engine.LIVE_VITALS_ROLE` and friends).  New
+        consumers claim a fresh role instead of re-deriving a stream,
+        so no two subsystems can ever alias each other's randomness.
+        """
+        if not 0 <= index < self.n_patients:
+            raise ValueError(
+                f"patient index must lie in [0, {self.n_patients}), "
+                f"got {index}"
+            )
+        if role < 0:
+            raise ValueError(f"stream role cannot be negative, got {role}")
+        return np.random.SeedSequence(
+            self.seed, spawn_key=(FLEET_SPAWN_NAMESPACE, index, role)
+        )
+
     def patient_profile(self, index: int) -> PatientProfile:
         """Synthesize patient ``index`` (shard-invariant).
 
@@ -249,16 +271,7 @@ class CohortSpec:
         one stream, so the profile depends on nothing but (cohort seed,
         patient index).
         """
-        if not 0 <= index < self.n_patients:
-            raise ValueError(
-                f"patient index must lie in [0, {self.n_patients}), "
-                f"got {index}"
-            )
-        rng = np.random.default_rng(
-            np.random.SeedSequence(
-                self.seed, spawn_key=(FLEET_SPAWN_NAMESPACE, index, 0)
-            )
-        )
+        rng = np.random.default_rng(self.stream_seed(index, 0))
         # Draw order is part of the determinism contract: changing it
         # is a cohort-schema change and must bump the fleet kind's
         # schema version.
@@ -294,14 +307,7 @@ class CohortSpec:
         Separate from the profile stream (spawn-key word 1, not 0) so
         adding a profile field can never perturb encounter randomness.
         """
-        if not 0 <= index < self.n_patients:
-            raise ValueError(
-                f"patient index must lie in [0, {self.n_patients}), "
-                f"got {index}"
-            )
-        return np.random.SeedSequence(
-            self.seed, spawn_key=(FLEET_SPAWN_NAMESPACE, index, 1)
-        )
+        return self.stream_seed(index, 1)
 
     def profiles(self, start: int = 0, count: int | None = None):
         """Iterate profiles ``start .. start+count`` (a shard's view)."""

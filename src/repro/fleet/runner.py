@@ -30,7 +30,7 @@ import numpy as np
 from repro.fleet.cohort import FLEET_TASKS, CohortSpec
 from repro.fleet.metrics import FleetAccumulator
 
-__all__ = ["FleetChunkSpec", "run_fleet_chunk"]
+__all__ = ["FleetChunkSpec", "patient_shield_config", "run_fleet_chunk"]
 
 
 @dataclass(frozen=True)
@@ -70,13 +70,16 @@ class FleetChunkSpec:
             )
 
 
-def _patient_shield_config(profile):
+def patient_shield_config(profile):
     """The per-device :class:`ShieldConfig` of one worn shield.
 
     Applies the cohort's calibration spread -- the patient's P_thresh
     offset and antenna-cancellation (full-duplex rejection) offset --
     to the paper-calibrated defaults.  The testbed overrides the
-    link-budget and codec-derived fields itself.
+    link-budget and codec-derived fields itself.  Shared by the batch
+    shards below and the live engine's encounter sessions
+    (:mod:`repro.live.engine`), so one definition of "this patient's
+    device" serves both execution modes.
     """
     from repro.core.config import ShieldConfig
 
@@ -106,7 +109,7 @@ def _run_attack_shard(spec: FleetChunkSpec) -> FleetAccumulator:
             attacker=spec.attacker,
             seed=spec.cohort.encounter_seed(profile.index),
             shield_config=(
-                _patient_shield_config(profile)
+                patient_shield_config(profile)
                 if profile.shield_worn
                 else None
             ),

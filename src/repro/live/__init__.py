@@ -1,0 +1,66 @@
+"""Real-time clinical monitoring over the reproduced shield models.
+
+The batch layers (labs, campaigns, fleet) answer population questions
+offline; :mod:`repro.live` runs the same cohort, physiology, and
+attack-testbed models in *event time*: a deterministic asyncio engine
+(:mod:`~repro.live.engine`) paced by a pluggable clock
+(:mod:`~repro.live.clock`), a notification-only alarm pipeline
+(:mod:`~repro.live.alarms`), and an SSE streaming endpoint
+(:mod:`~repro.live.serve`).  ``python -m repro live`` is the CLI
+front; ``docs/live.md`` is the design document.
+"""
+
+from repro.live.alarms import (
+    AlarmPipeline,
+    CollectingNotifier,
+    LogNotifier,
+    RateLimiter,
+    RateRule,
+    ShieldStateRule,
+    ThresholdRule,
+    default_rules,
+)
+from repro.live.clock import AcceleratedClock, TestClock, WallClock
+from repro.live.engine import (
+    LIVE_ATTACK_ROLE,
+    LIVE_VITALS_ROLE,
+    LiveConfig,
+    LiveEngine,
+    PatientSession,
+)
+from repro.live.events import (
+    EVENT_KINDS,
+    Alarm,
+    EventLog,
+    LiveEvent,
+    canonical_line,
+)
+from repro.live.serve import BroadcastHub, LiveServer, Subscriber, run_live
+
+__all__ = [
+    "EVENT_KINDS",
+    "LIVE_ATTACK_ROLE",
+    "LIVE_VITALS_ROLE",
+    "AcceleratedClock",
+    "Alarm",
+    "AlarmPipeline",
+    "BroadcastHub",
+    "CollectingNotifier",
+    "EventLog",
+    "LiveConfig",
+    "LiveEngine",
+    "LiveEvent",
+    "LiveServer",
+    "LogNotifier",
+    "PatientSession",
+    "RateLimiter",
+    "RateRule",
+    "ShieldStateRule",
+    "Subscriber",
+    "TestClock",
+    "ThresholdRule",
+    "WallClock",
+    "canonical_line",
+    "default_rules",
+    "run_live",
+]

@@ -30,7 +30,11 @@ import time
 from typing import Callable
 
 __all__ = [
+    "HEALTH_BODY",
+    "HEALTH_CONTENT_TYPE",
+    "HEALTH_PATH",
     "METRIC_PREFIX",
+    "collect_live_metrics",
     "collect_metrics",
     "render_exposition",
     "serve_metrics",
@@ -39,6 +43,14 @@ __all__ = [
 
 #: Every exported metric name starts with this.
 METRIC_PREFIX = "repro_"
+
+#: The liveness probe every repro HTTP surface answers identically --
+#: the metrics endpoint here and the live streaming server
+#: (:mod:`repro.live.serve`) both mount it, so one readiness check
+#: works against either.
+HEALTH_PATH = "/healthz"
+HEALTH_BODY = b"ok\n"
+HEALTH_CONTENT_TYPE = "text/plain; charset=utf-8"
 
 _NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _SAMPLE_RE = re.compile(
@@ -209,6 +221,77 @@ def collect_metrics(
     return metrics
 
 
+def collect_live_metrics(snapshot: dict) -> list[Metric]:
+    """Gauges for one live-engine snapshot (see ``LiveEngine.snapshot``).
+
+    The live server's ``/metrics`` endpoint renders these through the
+    same :func:`render_exposition` / :func:`validate_exposition` pair
+    as the campaign exporter, so the live surface inherits the strict
+    well-formedness CI already pins.  ``snapshot`` may carry the
+    streaming-layer fields (``subscribers``, ``frames_sent``,
+    ``frames_dropped``) merged in by :mod:`repro.live.serve`; they are
+    optional so a bare engine snapshot also renders.
+    """
+    running = Metric(
+        "live_engine_running", "1 while the live engine is dispatching."
+    ).add({}, 1 if snapshot.get("running") else 0)
+    sessions = Metric(
+        "live_active_sessions", "Admitted patient sessions."
+    ).add({}, snapshot.get("active_sessions", 0))
+    sim_time = Metric(
+        "live_sim_time_seconds", "Simulated seconds since engine start."
+    ).add({}, snapshot.get("sim_time_s", 0.0))
+    behind = Metric(
+        "live_behind_seconds",
+        "How late dispatch runs relative to the clock's wall target.",
+    ).add({}, snapshot.get("behind_s", 0.0))
+    events = Metric(
+        "live_events", "Events dispatched since engine start, by kind."
+    )
+    for kind, count in sorted(
+        (snapshot.get("events_by_kind") or {}).items()
+    ):
+        events.add({"kind": kind}, count)
+    rate = Metric(
+        "live_events_per_second",
+        "Observed dispatch throughput (events over wall seconds).",
+    ).add({}, snapshot.get("events_per_s", 0.0))
+    alarms = Metric(
+        "live_alarms", "Monitor alarms by disposition."
+    )
+    alarms.add({"state": "fired"}, snapshot.get("alarms_fired", 0))
+    alarms.add(
+        {"state": "suppressed"}, snapshot.get("alarms_suppressed", 0)
+    )
+    by_rule = Metric(
+        "live_alarms_fired_by_rule", "Fired alarms by originating rule."
+    )
+    for rule, count in sorted(
+        (snapshot.get("alarms_by_rule") or {}).items()
+    ):
+        by_rule.add({"rule": rule}, count)
+
+    metrics = [
+        running, sessions, sim_time, behind, events, rate, alarms, by_rule,
+    ]
+
+    if "subscribers" in snapshot:
+        metrics.append(
+            Metric(
+                "live_subscribers", "Connected streaming subscribers."
+            ).add({}, snapshot["subscribers"])
+        )
+    if "frames_sent" in snapshot or "frames_dropped" in snapshot:
+        frames = Metric(
+            "live_frames",
+            "Streaming frames by disposition (dropped = slow consumer).",
+        )
+        frames.add({"state": "sent"}, snapshot.get("frames_sent", 0))
+        frames.add({"state": "dropped"}, snapshot.get("frames_dropped", 0))
+        metrics.append(frames)
+    return metrics
+
+
 def render_exposition(metrics: list[Metric]) -> str:
     """Render metric families as Prometheus text exposition format."""
     lines: list[str] = []
@@ -282,7 +365,9 @@ def validate_exposition(text: str) -> list[str]:
 def serve_metrics(cache, scenario, port: int, host: str = "127.0.0.1"):
     """A ``/metrics`` HTTP endpoint that re-collects on every scrape.
 
-    Returns the started :class:`http.server.ThreadingHTTPServer`; the
+    Also answers :data:`HEALTH_PATH` (``/healthz``) with a constant
+    200, so orchestrators can probe liveness without paying for a
+    collection pass.  Returns the started :class:`http.server.ThreadingHTTPServer`; the
     caller owns its lifecycle (``serve_forever`` / ``shutdown``), which
     lets the CLI block on it and tests drive one scrape then stop.
     """
@@ -290,8 +375,16 @@ def serve_metrics(cache, scenario, port: int, host: str = "127.0.0.1"):
 
     class _MetricsHandler(BaseHTTPRequestHandler):
         def do_GET(self):  # noqa: N802 - http.server API
-            if self.path.split("?")[0] != "/metrics":
-                self.send_error(404, "only /metrics is served")
+            path = self.path.split("?")[0]
+            if path == HEALTH_PATH:
+                self.send_response(200)
+                self.send_header("Content-Type", HEALTH_CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(HEALTH_BODY)))
+                self.end_headers()
+                self.wfile.write(HEALTH_BODY)
+                return
+            if path != "/metrics":
+                self.send_error(404, "only /metrics and /healthz are served")
                 return
             try:
                 body = render_exposition(

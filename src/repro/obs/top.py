@@ -30,6 +30,7 @@ from repro.obs.progress import DEFAULT_INTERVAL_S, read_progress
 __all__ = [
     "DEFAULT_IDLE_AFTER_S",
     "TERMINAL_PHASES",
+    "render_live_status",
     "render_status",
     "scenario_status",
 ]
@@ -204,4 +205,68 @@ def render_status(status: dict) -> list[str]:
             )
     for source in status.get("idle_workers") or []:
         lines.append(f"IDLE worker {source}: no fresh snapshot")
+    return lines
+
+
+def render_live_status(snapshot: dict) -> list[str]:
+    """A live-engine snapshot as plain text lines (``repro top --live``).
+
+    ``snapshot`` is what the live server's ``/status`` endpoint returns
+    (:meth:`repro.live.serve.LiveServer.snapshot`): the engine state
+    merged with the streaming-layer fields.  Streaming fields are
+    optional so a bare engine snapshot renders too.
+    """
+    speedup = snapshot.get("speedup")
+    pacing = (
+        "as-fast-as-possible"
+        if speedup is None
+        else f"speedup x{speedup:g}"
+    )
+    state = (
+        "RUNNING" if snapshot.get("running")
+        else "FINISHED" if snapshot.get("finished")
+        else "STOPPED"
+    )
+    lines = [
+        (
+            f"live engine {state}  "
+            f"{snapshot.get('active_sessions', 0)} sessions  "
+            f"sim t={snapshot.get('sim_time_s', 0.0):.1f}s"
+            f"/{snapshot.get('duration_s', 0.0):g}s  {pacing}"
+        ),
+        (
+            f"events: {snapshot.get('events_total', 0)} total, "
+            f"{snapshot.get('events_per_s', 0.0):.0f}/s"
+            + (
+                f"  behind {snapshot['behind_s']:.2f}s"
+                if snapshot.get("behind_s", 0.0) > 0.05
+                else ""
+            )
+        ),
+    ]
+    by_kind = snapshot.get("events_by_kind") or {}
+    if by_kind:
+        lines.append(
+            "  " + "  ".join(
+                f"{kind}={by_kind[kind]}" for kind in sorted(by_kind)
+            )
+        )
+    lines.append(
+        f"alarms: {snapshot.get('alarms_fired', 0)} fired, "
+        f"{snapshot.get('alarms_suppressed', 0)} rate-limited"
+    )
+    by_rule = snapshot.get("alarms_by_rule") or {}
+    if by_rule:
+        lines.append(
+            "  " + "  ".join(
+                f"{rule}={by_rule[rule]}" for rule in sorted(by_rule)
+            )
+        )
+    if "subscribers" in snapshot:
+        lines.append(
+            f"streaming: {snapshot['subscribers']} subscriber(s), "
+            f"{snapshot.get('frames_flushed', 0)} frames flushed, "
+            f"{snapshot.get('frames_dropped', 0)} dropped "
+            f"(slow consumers)"
+        )
     return lines

@@ -40,6 +40,7 @@ __all__ = [
     "ECGBatch",
     "ECGConfig",
     "ECGGenerator",
+    "HeartRateWalk",
     "MIXED_RHYTHM",
     "RHYTHM_CHOICES",
     "RHYTHM_CLASSES",
@@ -341,3 +342,72 @@ class ECGGenerator:
     def with_duration(self, duration_s: float) -> "ECGGenerator":
         """A generator whose records last exactly ``duration_s``."""
         return ECGGenerator(replace(self.config, duration_s=duration_s))
+
+
+class HeartRateWalk:
+    """Seeded mean-reverting heart-rate process for streaming vitals.
+
+    The live monitor (:mod:`repro.live.engine`) ticks each patient's
+    vitals once per telemetry interval -- far too often to synthesise a
+    full waveform record per tick.  This walk is the cheap
+    between-records model: an AR(1) (Ornstein-Uhlenbeck in discrete
+    time) around the rhythm's base rate, with per-step variability
+    scaled from the same class parameters the waveform generator uses
+    (sinus HRV jitter; AF's lognormal irregularity maps to a much
+    larger step).  One seeded generator in, one scalar draw per step
+    out -- replaying the stream is bit-identical, and a step costs a
+    few microseconds.
+    """
+
+    #: Beat-to-beat jitter (fractional std of RR) scaled up to the
+    #: telemetry cadence: windowed HR estimates vary less than single
+    #: RR intervals, so one step's std is ``rate * jitter`` for sinus
+    #: rhythms and ``rate * sigma`` for AF.
+    _RHYTHM_STEP_FRACTION = {
+        "normal": _SINUS_RR_JITTER,
+        "bradycardia": _SINUS_RR_JITTER,
+        "tachycardia": _SINUS_RR_JITTER,
+        "afib": _AFIB_LOG_SIGMA,
+    }
+
+    #: Physiological clamp (matches :class:`ECGConfig`'s accepted band).
+    _MIN_BPM, _MAX_BPM = 20.0, 300.0
+
+    def __init__(
+        self,
+        rhythm: str,
+        rng: np.random.Generator,
+        base_bpm: float | None = None,
+        mean_reversion: float = 0.1,
+    ):
+        if rhythm not in RHYTHM_CLASSES:
+            raise ValueError(
+                f"unknown rhythm {rhythm!r}; expected one of {RHYTHM_CLASSES}"
+            )
+        if not 0 < mean_reversion <= 1:
+            raise ValueError(
+                f"mean_reversion must lie in (0, 1], got {mean_reversion}"
+            )
+        self.rhythm = rhythm
+        self.base_bpm = (
+            float(base_bpm) if base_bpm is not None
+            else RHYTHM_RATES_BPM[rhythm]
+        )
+        self.step_std_bpm = (
+            self.base_bpm * self._RHYTHM_STEP_FRACTION[rhythm]
+        )
+        self.mean_reversion = float(mean_reversion)
+        self._rng = rng
+        self.rate_bpm = self.base_bpm
+
+    def step(self) -> float:
+        """Advance one telemetry interval; returns the new rate (BPM)."""
+        pull = self.mean_reversion * (self.base_bpm - self.rate_bpm)
+        noise = self.step_std_bpm * self._rng.standard_normal()
+        rate = self.rate_bpm + pull + noise
+        if rate < self._MIN_BPM:
+            rate = self._MIN_BPM
+        elif rate > self._MAX_BPM:
+            rate = self._MAX_BPM
+        self.rate_bpm = float(rate)
+        return self.rate_bpm

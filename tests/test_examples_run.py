@@ -21,6 +21,7 @@ FAST_EXAMPLES = [
     "clinical_session.py",
     "physio_leakage.py",
     "fleet_prevalence.py",
+    "live_monitor.py",
 ]
 
 

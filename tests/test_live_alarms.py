@@ -1,0 +1,172 @@
+"""Alarm pipeline: rules, simulated-time rate limiting, notifier fan-out.
+
+The architectural invariant under test is the safety split: this layer
+is notification-only (it consumes immutable events and can at most
+*count and tell*), rate limiting and rate rules run on simulated time
+so replays limit identically, and a broken notifier is disarmed rather
+than allowed to stall anything.
+"""
+
+import pytest
+
+from repro.live.alarms import (
+    AlarmPipeline,
+    CollectingNotifier,
+    RateLimiter,
+    RateRule,
+    ShieldStateRule,
+    ThresholdRule,
+    default_rules,
+)
+from repro.live.events import LiveEvent
+
+
+def _vitals(t, hr, patient=0):
+    return LiveEvent(t, patient, "vitals", {"hr_bpm": hr})
+
+
+def _attack(t, patient=0, **flags):
+    data = {
+        "shield_worn": True,
+        "imd_accepted": False,
+        "alarm_raised": False,
+        "shield_jammed": False,
+    }
+    data.update(flags)
+    return LiveEvent(t, patient, "attack", data)
+
+
+class TestThresholdRule:
+    def test_fires_above_high(self):
+        rule = ThresholdRule("tachy", event_field="hr_bpm", high=140.0)
+        alarm = rule.evaluate(_vitals(3.0, 150.0))
+        assert alarm is not None
+        assert alarm.rule == "tachy" and alarm.time_s == 3.0
+        assert "above" in alarm.message
+
+    def test_fires_below_low(self):
+        rule = ThresholdRule("brady", event_field="hr_bpm", low=40.0)
+        alarm = rule.evaluate(_vitals(3.0, 35.0))
+        assert alarm is not None and "below" in alarm.message
+
+    def test_silent_inside_band_and_on_other_kinds(self):
+        rule = ThresholdRule(
+            "band", event_field="hr_bpm", low=40.0, high=140.0
+        )
+        assert rule.evaluate(_vitals(0.0, 80.0)) is None
+        assert rule.evaluate(_attack(0.0)) is None
+        assert rule.evaluate(
+            LiveEvent(0.0, 0, "vitals", {"spo2": 99})
+        ) is None
+
+    def test_needs_at_least_one_bound(self):
+        with pytest.raises(ValueError, match="bound"):
+            ThresholdRule("nothing", event_field="hr_bpm")
+
+
+class TestRateRule:
+    def test_fires_on_threshold_inside_window(self):
+        rule = RateRule("dos", window_s=10.0, threshold=3)
+        assert rule.evaluate(_attack(0.0)) is None
+        assert rule.evaluate(_attack(1.0)) is None
+        alarm = rule.evaluate(_attack(2.0))
+        assert alarm is not None and alarm.severity == "critical"
+
+    def test_slow_drip_never_fires(self):
+        rule = RateRule("dos", window_s=10.0, threshold=3)
+        for t in (0.0, 20.0, 40.0, 60.0):
+            assert rule.evaluate(_attack(t)) is None
+
+    def test_patients_are_isolated(self):
+        rule = RateRule("dos", window_s=10.0, threshold=3)
+        assert rule.evaluate(_attack(0.0, patient=1)) is None
+        assert rule.evaluate(_attack(1.0, patient=2)) is None
+        assert rule.evaluate(_attack(2.0, patient=1)) is None
+        assert rule.evaluate(_attack(3.0, patient=1)) is not None
+
+    def test_rejects_degenerate_parameters(self):
+        with pytest.raises(ValueError, match="window_s"):
+            RateRule("dos", window_s=0.0)
+        with pytest.raises(ValueError, match="threshold"):
+            RateRule("dos", threshold=1)
+
+
+class TestShieldStateRule:
+    def test_unshielded_acceptance_is_critical(self):
+        alarm = ShieldStateRule().evaluate(
+            _attack(5.0, shield_worn=False, imd_accepted=True)
+        )
+        assert alarm is not None and alarm.severity == "critical"
+        assert "unauthorized" in alarm.message
+
+    def test_interlock_trip_is_mirrored_as_warning(self):
+        alarm = ShieldStateRule().evaluate(
+            _attack(5.0, alarm_raised=True, shield_jammed=True)
+        )
+        assert alarm is not None and alarm.severity == "warning"
+        assert alarm.data["shield_jammed"] is True
+
+    def test_clean_defence_is_silent(self):
+        assert ShieldStateRule().evaluate(
+            _attack(5.0, shield_jammed=True)
+        ) is None
+
+
+class TestRateLimiter:
+    def test_limits_per_rule_and_patient_on_sim_time(self):
+        limiter = RateLimiter(min_interval_s=30.0)
+        rule = ThresholdRule("tachy", event_field="hr_bpm", high=140.0)
+        first = rule.evaluate(_vitals(0.0, 150.0))
+        again = rule.evaluate(_vitals(10.0, 150.0))
+        later = rule.evaluate(_vitals(31.0, 150.0))
+        other = rule.evaluate(_vitals(10.0, 150.0, patient=7))
+        assert limiter.allow(first)
+        assert not limiter.allow(again)  # same rule+patient, inside window
+        assert limiter.allow(other)     # different patient
+        assert limiter.allow(later)     # window elapsed (simulated)
+        assert limiter.suppressed == 1
+
+    def test_rejects_negative_interval(self):
+        with pytest.raises(ValueError):
+            RateLimiter(min_interval_s=-1.0)
+
+
+class TestAlarmPipeline:
+    def test_fired_alarms_reach_every_notifier(self):
+        sink_a, sink_b = CollectingNotifier(), CollectingNotifier()
+        pipeline = AlarmPipeline(notifiers=[sink_a, sink_b])
+        fired = pipeline.process(_vitals(0.0, 200.0))
+        assert len(fired) == 1
+        assert [a.rule for a in sink_a.alarms] == ["tachycardia"]
+        assert [a.rule for a in sink_b.alarms] == ["tachycardia"]
+        assert pipeline.fired_total == 1
+        assert pipeline.fired_by_rule == {"tachycardia": 1}
+
+    def test_suppressed_alarms_are_counted_not_lost(self):
+        pipeline = AlarmPipeline()
+        pipeline.process(_vitals(0.0, 200.0))
+        fired = pipeline.process(_vitals(1.0, 200.0))
+        assert fired == []
+        assert pipeline.suppressed_total == 1
+        assert pipeline.fired_total == 1
+
+    def test_broken_notifier_is_disarmed_not_fatal(self):
+        class Pager:
+            def notify(self, alarm):
+                raise RuntimeError("pager on fire")
+
+        sink = CollectingNotifier()
+        pipeline = AlarmPipeline(notifiers=[Pager(), sink])
+        pipeline.process(_vitals(0.0, 200.0))
+        pipeline.process(_vitals(100.0, 200.0))
+        # The sink saw both; the pager was removed after its first failure.
+        assert len(sink.alarms) == 2
+        assert len(pipeline.notifiers) == 1
+
+    def test_default_rules_cover_the_monitoring_claims(self):
+        names = {
+            getattr(rule, "name") for rule in default_rules()
+        }
+        assert names == {
+            "tachycardia", "bradycardia", "battery-dos", "shield-state"
+        }

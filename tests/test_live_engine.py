@@ -1,0 +1,278 @@
+"""Live engine: deterministic replay, clocks, scheduling, vitals walk.
+
+The load-bearing claim is the replay contract: the event/alarm log is
+a pure function of (seed, config) -- byte-identical across runs *and*
+across clocks, because the clock paces dispatch but never reorders
+it.  Everything else here guards the pieces that contract leans on:
+the reserved RNG roles, the heap schedule's shape, the heart-rate
+walk's seeded determinism, and the clock implementations themselves.
+"""
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.fleet.cohort import CohortSpec
+# TestClock is aliased so pytest does not try to collect it as a
+# test class (it has an __init__).
+from repro.live.clock import AcceleratedClock, WallClock
+from repro.live.clock import TestClock as DrainClock
+from repro.live.engine import (
+    LIVE_ATTACK_ROLE,
+    LIVE_VITALS_ROLE,
+    LiveConfig,
+    LiveEngine,
+)
+from repro.live.events import EventLog, LiveEvent
+from repro.physio.ecg import RHYTHM_RATES_BPM, HeartRateWalk
+
+
+def _run(config, clock=None):
+    log = EventLog()
+    engine = LiveEngine(
+        config, clock=clock if clock is not None else DrainClock(),
+        event_log=log,
+    )
+    asyncio.run(engine.run())
+    return engine, log
+
+
+_SMALL = LiveConfig(
+    n_patients=12, duration_s=20.0, attack_bursts=2, seed=11
+)
+
+
+class TestReplayDeterminism:
+    def test_same_seed_is_byte_identical(self):
+        _, log_a = _run(_SMALL)
+        _, log_b = _run(_SMALL)
+        assert log_a.lines == log_b.lines
+        assert log_a.digest() == log_b.digest()
+
+    def test_different_seed_diverges(self):
+        _, log_a = _run(_SMALL)
+        _, log_b = _run(
+            LiveConfig(
+                n_patients=12, duration_s=20.0, attack_bursts=2, seed=12
+            )
+        )
+        assert log_a.digest() != log_b.digest()
+
+    def test_clock_choice_never_touches_the_log(self):
+        # A heavily accelerated paced clock and the drain clock must
+        # produce the same bytes: pacing is the only thing that may
+        # differ between deployment and replay.
+        _, drained = _run(_SMALL)
+        _, paced = _run(_SMALL, clock=AcceleratedClock(10_000.0))
+        assert drained.lines == paced.lines
+
+    def test_log_written_twice_compares_equal(self, tmp_path):
+        _, log_a = _run(_SMALL)
+        _, log_b = _run(_SMALL)
+        path_a = log_a.write(tmp_path / "a.jsonl")
+        path_b = log_b.write(tmp_path / "b.jsonl")
+        assert path_a.read_bytes() == path_b.read_bytes()
+
+
+class TestScheduleShape:
+    def test_every_patient_is_admitted_then_ticked(self):
+        engine, _ = _run(_SMALL)
+        assert engine.events_by_kind["session"] == _SMALL.n_patients
+        # One tick chain per patient over the horizon.
+        expected_ticks = _SMALL.n_patients * int(
+            _SMALL.duration_s / _SMALL.telemetry_interval_s
+        )
+        assert engine.events_by_kind["vitals"] == expected_ticks
+        assert engine.finished and not engine.running
+
+    def test_attack_bursts_reach_the_testbed(self):
+        engine, log = _run(_SMALL)
+        assert engine.events_by_kind["attack"] == (
+            _SMALL.attack_bursts * _SMALL.burst_trials
+        )
+        assert any('"kind":"attack"' in line for line in log.lines)
+
+    def test_dispatch_time_is_monotonic(self):
+        engine = LiveEngine(_SMALL)
+        seen = []
+        engine.add_event_listener(lambda e: seen.append(e.time_s))
+        asyncio.run(engine.run())
+        assert seen == sorted(seen)
+
+    def test_stop_drains_early(self):
+        engine = LiveEngine(_SMALL)
+        engine.add_event_listener(
+            lambda e: engine.stop() if e.time_s > 5.0 else None
+        )
+        asyncio.run(engine.run())
+        assert not engine.finished
+        assert engine.clock.sim_time_s < _SMALL.duration_s
+
+    def test_snapshot_carries_the_gauge_surface(self):
+        engine, _ = _run(_SMALL)
+        snap = engine.snapshot()
+        for key in (
+            "running", "finished", "active_sessions", "events_total",
+            "events_by_kind", "events_per_s", "alarms_fired",
+            "alarms_by_rule", "alarms_suppressed", "sim_time_s",
+            "speedup", "behind_s",
+        ):
+            assert key in snap
+        assert snap["active_sessions"] == _SMALL.n_patients
+        assert snap["events_total"] == engine.events_total
+        assert snap["speedup"] is None  # TestClock advertises no pacing
+
+
+class TestStreamRoles:
+    def test_live_roles_never_alias_batch_streams(self):
+        cohort = CohortSpec(n_patients=4, seed=3)
+        states = set()
+        for role in (0, 1, LIVE_VITALS_ROLE, LIVE_ATTACK_ROLE):
+            seq = cohort.stream_seed(2, role)
+            states.add(tuple(seq.generate_state(4).tolist()))
+        assert len(states) == 4
+
+    def test_stream_seed_rejects_bad_arguments(self):
+        cohort = CohortSpec(n_patients=4)
+        with pytest.raises(ValueError, match="patient index"):
+            cohort.stream_seed(4, 0)
+        with pytest.raises(ValueError, match="role"):
+            cohort.stream_seed(0, -1)
+
+    def test_profile_and_encounter_streams_unchanged_by_refactor(self):
+        # patient_profile / encounter_seed now route through
+        # stream_seed; the spawn keys (and so every cached fleet
+        # number) must be exactly what they always were.
+        cohort = CohortSpec(n_patients=4, seed=9)
+        direct = np.random.SeedSequence(
+            9, spawn_key=(0xF1EE7, 1, 1)
+        ).generate_state(4)
+        via = cohort.encounter_seed(1).generate_state(4)
+        assert np.array_equal(direct, via)
+
+
+class TestLiveConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_patients": 0},
+            {"duration_s": 0},
+            {"telemetry_interval_s": 0},
+            {"attack_bursts": -1},
+            {"burst_trials": 0},
+            {"burst_spacing_s": 0},
+            {"attack_command": "reboot"},
+        ],
+    )
+    def test_rejects_bad_fields(self, kwargs):
+        with pytest.raises(ValueError):
+            LiveConfig(**kwargs)
+
+    def test_cohort_uses_the_fleet_synthesis(self):
+        config = LiveConfig(n_patients=7, seed=5)
+        cohort = config.cohort()
+        assert isinstance(cohort, CohortSpec)
+        assert cohort.n_patients == 7 and cohort.seed == 5
+
+
+class TestHeartRateWalk:
+    def _walk(self, rhythm="normal", seed=0):
+        return HeartRateWalk(
+            rhythm, np.random.default_rng(seed)
+        )
+
+    def test_seeded_walk_replays(self):
+        walk_a, walk_b = self._walk(), self._walk()
+        a = [walk_a.step() for _ in range(50)]
+        b = [walk_b.step() for _ in range(50)]
+        assert a == b
+
+    def test_stays_in_physiological_band(self):
+        walk = HeartRateWalk(
+            "afib", np.random.default_rng(1), base_bpm=290.0
+        )
+        rates = [walk.step() for _ in range(200)]
+        assert all(20.0 <= r <= 300.0 for r in rates)
+
+    def test_afib_is_markedly_more_variable_than_sinus(self):
+        sinus = self._walk("normal", seed=2)
+        afib = HeartRateWalk(
+            "afib", np.random.default_rng(2),
+            base_bpm=RHYTHM_RATES_BPM["normal"],
+        )
+        sinus_steps = np.diff([sinus.step() for _ in range(500)])
+        afib_steps = np.diff([afib.step() for _ in range(500)])
+        assert np.std(afib_steps) > 3.0 * np.std(sinus_steps)
+
+    def test_reverts_toward_base(self):
+        walk = self._walk("normal", seed=3)
+        walk.rate_bpm = 250.0
+        for _ in range(100):
+            walk.step()
+        assert abs(walk.rate_bpm - walk.base_bpm) < 30.0
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError, match="rhythm"):
+            HeartRateWalk("sinus", np.random.default_rng(0))
+        with pytest.raises(ValueError, match="mean_reversion"):
+            HeartRateWalk(
+                "normal", np.random.default_rng(0), mean_reversion=0.0
+            )
+
+
+class TestClocks:
+    def test_drain_clock_never_waits(self):
+        clock = DrainClock()
+        clock.start()
+        start = time.monotonic()
+        asyncio.run(clock.advance_to(1e6))
+        assert time.monotonic() - start < 0.5
+        assert clock.sim_time_s == 1e6
+
+    def test_accelerated_clock_paces_wall_time(self):
+        async def scenario():
+            clock = AcceleratedClock(100.0)
+            clock.start()
+            start = time.monotonic()
+            await clock.advance_to(10.0)  # 0.1s of wall time
+            return time.monotonic() - start
+
+        elapsed = asyncio.run(scenario())
+        assert 0.05 <= elapsed < 1.0
+
+    def test_overloaded_clock_records_lag_instead_of_sleeping(self):
+        async def scenario():
+            clock = AcceleratedClock(1.0)
+            clock.start()
+            # Simulate dispatch arriving late: ask for a sim instant
+            # already in the past.
+            clock._start_wall -= 5.0
+            start = time.monotonic()
+            await clock.advance_to(1.0)
+            return clock, time.monotonic() - start
+
+        clock, elapsed = asyncio.run(scenario())
+        assert elapsed < 0.5  # never slept to "catch up"
+        assert clock.behind_s > 3.0
+
+    def test_wall_clock_is_unit_speedup(self):
+        assert WallClock().speedup == 1.0
+
+    def test_rejects_non_positive_speedup(self):
+        with pytest.raises(ValueError):
+            AcceleratedClock(0.0)
+
+
+class TestLiveEvent:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            LiveEvent(0.0, 0, "gossip", {})
+
+    def test_canonical_form_is_sorted_and_minimal(self):
+        event = LiveEvent(1.5, 3, "vitals", {"hr_bpm": 70.0})
+        line = event.canonical()
+        assert line == (
+            '{"data":{"hr_bpm":70.0},"kind":"vitals","patient":3,"t":1.5}'
+        )

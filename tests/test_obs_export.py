@@ -107,6 +107,47 @@ class TestCollectAndRender:
         assert render_exposition([metric]) == ""
 
 
+class TestCollectLiveMetrics:
+    _SNAPSHOT = {
+        "running": True, "finished": False, "active_sessions": 100,
+        "sim_time_s": 12.5, "behind_s": 0.0,
+        "events_by_kind": {"vitals": 1200, "attack": 5, "session": 100},
+        "events_per_s": 10400.0, "alarms_fired": 4,
+        "alarms_suppressed": 9, "alarms_by_rule": {"tachycardia": 4},
+        "subscribers": 2, "frames_sent": 80, "frames_dropped": 3,
+    }
+
+    def test_live_snapshot_renders_valid_exposition(self):
+        from repro.obs.export import collect_live_metrics
+
+        text = render_exposition(collect_live_metrics(self._SNAPSHOT))
+        names = validate_exposition(text)
+        for expected in (
+            "repro_live_engine_running",
+            "repro_live_active_sessions",
+            "repro_live_events",
+            "repro_live_events_per_second",
+            "repro_live_alarms",
+            "repro_live_subscribers",
+            "repro_live_frames",
+        ):
+            assert expected in names
+        assert 'repro_live_events{kind="vitals"} 1200' in text
+        assert 'repro_live_frames{state="dropped"} 3' in text
+
+    def test_bare_engine_snapshot_renders_without_streaming_fields(self):
+        from repro.obs.export import collect_live_metrics
+
+        snapshot = {
+            k: v for k, v in self._SNAPSHOT.items()
+            if k not in ("subscribers", "frames_sent", "frames_dropped")
+        }
+        text = render_exposition(collect_live_metrics(snapshot))
+        names = validate_exposition(text)
+        assert "repro_live_subscribers" not in names
+        assert "repro_live_frames" not in names
+
+
 class TestValidator:
     def test_rejects_sample_without_type(self):
         with pytest.raises(ValueError, match="no # TYPE"):
@@ -153,6 +194,11 @@ class TestServeMetrics:
                 body = resp.read().decode("utf-8")
             validate_exposition(body)
             assert f"{METRIC_PREFIX}campaign_complete" in body
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/healthz", timeout=10
+            ) as resp:
+                assert resp.status == 200
+                assert resp.read() == b"ok\n"
             with pytest.raises(urllib.error.HTTPError) as excinfo:
                 urllib.request.urlopen(
                     f"http://{host}:{port}/other", timeout=10
